@@ -1,0 +1,12 @@
+"""Ablation: counter organisation (monolithic vs split vs MorphCtr)."""
+
+from repro.bench.experiments import ablation_counter_schemes
+
+
+def test_ablation_counter_density(run_once):
+    rows = run_once(ablation_counter_schemes)
+    by_name = {row["scheme"]: row for row in rows}
+    # Denser counter lines cover more data, so they cache better: the CTR
+    # miss rate ordering follows coverage (mono 1:8 > split 1:64 > 1:128).
+    assert by_name["morphctr"]["ctr_miss_rate"] <= by_name["split"]["ctr_miss_rate"] + 0.02
+    assert by_name["split"]["ctr_miss_rate"] <= by_name["monolithic"]["ctr_miss_rate"] + 0.02

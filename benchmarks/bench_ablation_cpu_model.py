@@ -1,0 +1,11 @@
+"""Ablation (methodology): sensitivity to the IPC-proxy constants."""
+
+from repro.bench.experiments import ablation_cpu_model
+
+
+def test_ablation_cpu_model_robustness(run_once):
+    rows = run_once(ablation_cpu_model)
+    assert len(rows) == 9  # 3 MLP factors x 3 bandwidth costs
+    # The headline conclusion must hold at every corner of the sweep.
+    for row in rows:
+        assert row["cosmos_gain"] > 1.0

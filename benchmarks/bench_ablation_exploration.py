@@ -1,0 +1,11 @@
+"""Ablation: epsilon-greedy exploration rate of the data predictor."""
+
+from repro.bench.experiments import ablation_exploration
+
+
+def test_ablation_exploration_rate(run_once):
+    rows = run_once(ablation_exploration)
+    by_epsilon = {row["epsilon_d"]: row for row in rows}
+    # Heavy exploration (60% random actions) must cost accuracy compared
+    # with the tuned 10% (paper Table 1).
+    assert by_epsilon[0.6]["prediction_accuracy"] < by_epsilon[0.1]["prediction_accuracy"]

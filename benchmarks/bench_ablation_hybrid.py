@@ -1,0 +1,15 @@
+"""Ablation (extension): COSMOS + EMCC-style universal early probing."""
+
+from repro.bench.experiments import ablation_hybrid
+
+
+def test_ablation_hybrid_design(run_once):
+    rows = run_once(ablation_hybrid)
+    by_name = {row["design"]: row for row in rows}
+    # The hybrid warms the counter cache with on-chip traffic, so its CTR
+    # miss rate must not exceed plain COSMOS's by much...
+    assert by_name["cosmos-early"]["ctr_miss_rate"] <= by_name["cosmos"]["ctr_miss_rate"] + 0.05
+    # ...at the price of extra Merkle-tree traffic.
+    assert by_name["cosmos-early"]["mt_reads"] >= by_name["cosmos"]["mt_reads"] * 0.9
+    # Both COSMOS variants beat the baseline.
+    assert by_name["cosmos-early"]["normalized_perf"] > by_name["morphctr"]["normalized_perf"]

@@ -1,0 +1,23 @@
+"""Ablation: Algorithm 2 read literally vs the recency/aging variants."""
+
+from repro.bench.experiments import ablation_lcr_policy
+
+
+def test_ablation_lcr_interpretations(run_once):
+    rows = run_once(ablation_lcr_policy)
+    by_name = {row["policy"]: row for row in rows}
+    # With a well-sized CET (the default configuration), the literal
+    # Algorithm 2 is the best interpretation: it must beat plain LRU...
+    assert (
+        by_name["lcr-literal"]["ctr_miss_rate"]
+        < by_name["lru-plain"]["ctr_miss_rate"]
+    )
+    # ...and be at least as good as the defensive variants.
+    assert (
+        by_name["lcr-literal"]["ctr_miss_rate"]
+        <= by_name["lcr-score+aging"]["ctr_miss_rate"] + 0.01
+    )
+    assert (
+        by_name["lcr-literal"]["ctr_miss_rate"]
+        <= by_name["lcr-recency+aging"]["ctr_miss_rate"] + 0.01
+    )

@@ -1,0 +1,14 @@
+"""Ablation: Merkle-tree node cache capacity vs MT read traffic."""
+
+from repro.bench.experiments import ablation_mt_cache
+
+
+def test_ablation_mt_cache_collapses_traffic(run_once):
+    rows = run_once(ablation_mt_cache)
+    mt_reads = [row["mt_reads"] for row in rows]
+    # No cache (first row) pays the full leaf-to-root walk every miss; a
+    # modest cache removes the shared upper levels.
+    assert mt_reads[0] > 2 * mt_reads[-1]
+    # Traffic is monotone non-increasing in cache size (allowing noise).
+    for smaller, larger in zip(mt_reads, mt_reads[1:]):
+        assert larger <= smaller * 1.05

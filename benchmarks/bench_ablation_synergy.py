@@ -1,0 +1,19 @@
+"""Ablation (extension): COSMOS composed with Synergy-style MAC-in-ECC."""
+
+from repro.bench.experiments import ablation_synergy
+
+
+def test_ablation_synergy_composition(run_once):
+    rows = run_once(ablation_synergy)
+    by_name = {row["design"]: row for row in rows}
+    # MAC-in-ECC removes every MAC DRAM access.
+    assert by_name["synergy"]["mac_accesses"] == 0
+    assert by_name["cosmos-synergy"]["mac_accesses"] == 0
+    assert by_name["morphctr"]["mac_accesses"] > 0
+    # The optimisations compose: each layer helps.
+    assert by_name["synergy"]["normalized_perf"] >= by_name["morphctr"]["normalized_perf"]
+    assert by_name["cosmos-synergy"]["normalized_perf"] >= by_name["cosmos"]["normalized_perf"]
+    assert (
+        by_name["cosmos-synergy"]["normalized_perf"]
+        > by_name["morphctr"]["normalized_perf"]
+    )

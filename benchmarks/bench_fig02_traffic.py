@@ -1,0 +1,16 @@
+"""Figure 2: memory traffic and CTR miss rate, NP vs secure (MorphCtr)."""
+
+from repro.bench.experiments import figure2
+
+
+def test_figure2_traffic_breakdown(run_once):
+    rows = run_once(figure2)
+    assert len(rows) == 8  # one per graph workload
+    for row in rows:
+        # Secure memory multiplies traffic, with MT reads the largest share.
+        assert row["secure_traffic"] > 1.5
+        assert row["mt_frac"] > row["reenc_frac"]
+        assert row["ctr_miss_rate"] > 0.3
+    # Paper shape: MT reads dominate on the majority of graph workloads.
+    dominated = sum(1 for row in rows if row["mt_frac"] > 0.4)
+    assert dominated >= 5

@@ -1,0 +1,15 @@
+"""Figure 3: CTR cache capacity sweep vs miss rate (DFS, PR, GC)."""
+
+from repro.bench.experiments import figure3
+
+
+def test_figure3_limited_gains_from_capacity(run_once):
+    rows = run_once(figure3)
+    assert [row["ctr_cache_kb"] for row in rows] == [8, 16, 32, 64, 128]
+    for workload in ("dfs", "pr", "gc"):
+        series = [row[f"{workload}_miss"] for row in rows]
+        # Bigger caches never hurt...
+        assert series[-1] <= series[0] + 0.02
+        # ...but 16x more capacity still leaves a high miss rate: the CTR
+        # stream at the LLC point is cold (paper Sec. 3.2.1).
+        assert series[-1] > 0.25

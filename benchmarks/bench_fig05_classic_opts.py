@@ -1,0 +1,17 @@
+"""Figure 5: classic prefetchers/replacement policies on the CTR cache."""
+
+from repro.bench.experiments import figure5
+
+
+def test_figure5_classic_optimizations_do_not_help(run_once):
+    rows = run_once(figure5)
+    baseline = rows[0]
+    assert baseline["variant"] == "baseline-lru"
+    for row in rows[1:]:
+        # Paper shape: neither prefetching nor smart replacement moves the
+        # needle — no variant beats plain LRU by a meaningful margin.
+        assert row["ipc_vs_lru"] < 1.05
+        assert row["ctr_miss_rate"] > baseline["ctr_miss_rate"] - 0.10
+    prefetchers = [row for row in rows if row["variant"] in ("next_line", "stride", "berti")]
+    # Inaccurate prefetches add integrity-check traffic.
+    assert any(row["dram_requests"] >= baseline["dram_requests"] for row in prefetchers)

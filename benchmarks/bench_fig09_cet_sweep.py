@@ -1,0 +1,16 @@
+"""Figure 9: CET size vs %good-locality tags and LCR-CTR miss rate."""
+
+from repro.bench.experiments import figure9
+
+
+def test_figure9_cet_design_space(run_once):
+    rows = run_once(figure9)
+    good = [row["good_locality_pct"] for row in rows]
+    miss = [row["lcr_miss_rate"] for row in rows]
+    # Larger CETs classify more CTR accesses as good locality.
+    assert good[-1] > good[0]
+    # The miss rate improves from the smallest CET to the sweet spot; the
+    # curve is non-monotonic overall (too much tagged good stops helping).
+    assert min(miss) < miss[0]
+    best_index = miss.index(min(miss))
+    assert best_index > 0

@@ -1,0 +1,22 @@
+"""Figure 10: headline performance, normalised to non-protected memory."""
+
+from repro.bench.experiments import figure10
+
+
+def test_figure10_cosmos_beats_morphctr(run_once):
+    rows = run_once(figure10)
+    geomean = rows[-1]
+    assert geomean["workload"] == "geomean"
+    base = geomean["morphctr"]
+    dp = geomean["cosmos-dp"]
+    cp = geomean["cosmos-cp"]
+    full = geomean["cosmos"]
+    # Paper shape: full COSMOS > COSMOS-DP > baseline; CP-only is a small
+    # improvement; everything remains below NP (normalised < 1).
+    assert full > dp > base
+    assert cp >= base * 0.99
+    assert full < 1.0
+    # Magnitude: full COSMOS gains on the order of the paper's +25%.
+    assert full / base > 1.12
+    # Residual overhead vs NP remains substantial (paper ~33%).
+    assert full < 0.95

@@ -1,0 +1,16 @@
+"""Figure 11: CTR cache miss rate across MorphCtr and the COSMOS variants."""
+
+from repro.bench.experiments import figure11
+from repro.bench.report import geometric_mean
+
+
+def test_figure11_full_cosmos_has_lowest_miss_rate(run_once):
+    rows = run_once(figure11)
+    mean = {
+        design: geometric_mean([max(row[design], 1e-6) for row in rows])
+        for design in ("morphctr", "cosmos-dp", "cosmos-cp", "cosmos")
+    }
+    # Paper shape: the full design sits below COSMOS-DP (the LCR cache and
+    # locality tags add on top of early access).
+    assert mean["cosmos"] < mean["cosmos-dp"] + 0.01
+    assert mean["cosmos"] < mean["morphctr"]

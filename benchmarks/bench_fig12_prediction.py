@@ -1,0 +1,18 @@
+"""Figure 12: data-location prediction distribution and accuracy."""
+
+from repro.bench.experiments import figure12
+
+
+def test_figure12_prediction_quality(run_once):
+    rows = run_once(figure12)
+    assert len(rows) == 8
+    for row in rows:
+        total = (
+            row["correct_on_chip"] + row["correct_off_chip"]
+            + row["wrong_on_chip"] + row["wrong_off_chip"]
+        )
+        assert abs(total - 1.0) < 1e-6
+    accuracies = [row["accuracy"] for row in rows]
+    # Paper: ~85% average accuracy; our traces land in the same band.
+    assert sum(accuracies) / len(accuracies) > 0.6
+    assert max(accuracies) > 0.75

@@ -1,0 +1,17 @@
+"""Figure 13: %CTR accesses classified good locality (COSMOS vs COSMOS-CP)."""
+
+from repro.bench.experiments import figure13
+
+
+def test_figure13_early_point_sees_more_good_locality(run_once):
+    rows = run_once(figure13)
+    assert len(rows) == 8
+    higher = sum(
+        1 for row in rows if row["cosmos_good_pct"] >= row["cosmos_cp_good_pct"]
+    )
+    # Paper shape: the post-L1 stream (full COSMOS) contains far more
+    # good-locality CTR accesses than the post-LLC stream (COSMOS-CP).
+    assert higher >= 6
+    cp_mean = sum(row["cosmos_cp_good_pct"] for row in rows) / len(rows)
+    full_mean = sum(row["cosmos_good_pct"] for row in rows) / len(rows)
+    assert full_mean > cp_mean

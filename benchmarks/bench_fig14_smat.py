@@ -1,0 +1,15 @@
+"""Figure 14: Secure Memory Access Time across the designs (Eq. 1-2)."""
+
+from repro.bench.experiments import figure14
+from repro.bench.report import geometric_mean
+
+
+def test_figure14_cosmos_has_lowest_smat(run_once):
+    rows = run_once(figure14)
+    mean = {
+        design: geometric_mean([row[design] for row in rows])
+        for design in ("morphctr", "cosmos-cp", "cosmos-dp", "cosmos")
+    }
+    # Paper shape: COSMOS achieves the lowest SMAT of all configurations.
+    assert mean["cosmos"] <= min(mean["morphctr"], mean["cosmos-cp"]) + 1e-9
+    assert mean["cosmos"] < mean["morphctr"]

@@ -1,0 +1,13 @@
+"""Figure 16: COSMOS vs EMCC (and RMCC), normalised to NP."""
+
+from repro.bench.experiments import figure16
+
+
+def test_figure16_cosmos_beats_emcc(run_once):
+    rows = run_once(figure16)
+    geomean = rows[-1]
+    assert geomean["workload"] == "geomean"
+    # Paper shape: MorphCtr < EMCC < COSMOS; RMCC comparable to EMCC.
+    assert geomean["emcc"] > geomean["morphctr"]
+    assert geomean["cosmos"] > geomean["emcc"]
+    assert geomean["rmcc"] > geomean["morphctr"] * 0.98

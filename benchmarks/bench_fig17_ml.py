@@ -1,0 +1,16 @@
+"""Figure 17: regular (ML inference) workloads."""
+
+from repro.bench.experiments import figure17
+from repro.bench.report import geometric_mean
+
+
+def test_figure17_no_regression_small_gain(run_once):
+    rows = run_once(figure17)
+    assert len(rows) == 6
+    gains = [row["cosmos_gain"] for row in rows]
+    # Paper shape: COSMOS never regresses on regular workloads...
+    assert all(gain > 0.97 for gain in gains)
+    # ...and the average gain is modest (paper ~3%), far below the ~25%
+    # seen on irregular workloads.
+    mean_gain = geometric_mean(gains)
+    assert 0.99 < mean_gain < 1.20

@@ -1,0 +1,13 @@
+"""Generality (extension): database kernels COSMOS was never tuned on."""
+
+from repro.bench.experiments import generality_db
+
+
+def test_generality_database_kernels(run_once):
+    rows = run_once(generality_db)
+    assert {row["workload"] for row in rows} == {"hashjoin", "btree", "ycsb"}
+    for row in rows:
+        # No regression on any untuned domain...
+        assert row["cosmos_gain"] > 0.97
+    # ...and the irregular kernels see a real gain.
+    assert max(row["cosmos_gain"] for row in rows) > 1.03

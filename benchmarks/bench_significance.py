@@ -1,0 +1,14 @@
+"""Statistical significance of the headline gain across generator seeds."""
+
+from repro.bench.stats import compare_over_seeds
+
+
+def test_cosmos_gain_is_significant_across_seeds(run_once):
+    comparison = run_once(
+        compare_over_seeds, "cosmos", "morphctr", "dfs", seeds=(1, 2, 3)
+    )
+    summary = comparison.summary()
+    print(f"\nspeedups per seed: {[round(s, 3) for s in comparison.speedups]}")
+    print(f"mean {summary.mean:.3f}, 95% CI +/- {summary.ci_halfwidth:.3f}")
+    # The gain must exceed run-to-run noise: CI strictly above 1.0.
+    assert comparison.significant_gain

@@ -1,0 +1,13 @@
+"""Table 1: two-stage hyperparameter and reward tuning (random search)."""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_tuning_flow(run_once):
+    rows = run_once(table1)
+    assert rows[0]["stage"] == "stage1-best-hyper"
+    assert rows[1]["stage"] == "paper-table1-hyper"
+    # Stage-1's winner found a configuration with a usable LCR hit rate.
+    assert 0.0 <= rows[0]["lcr_hit_rate"] <= 1.0
+    # Stage-2 rewards never score worse than 0 and the search is seeded.
+    assert 0.0 <= rows[2]["lcr_hit_rate"] <= 1.0

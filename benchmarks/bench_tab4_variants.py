@@ -1,0 +1,18 @@
+"""Table 4: every design variation exercised on one workload."""
+
+from repro.bench.experiments import table4
+
+
+def test_table4_design_matrix(run_once):
+    rows = run_once(table4)
+    designs = {row["design"] for row in rows}
+    assert designs == {
+        "np", "morphctr", "early", "emcc", "rmcc",
+        "cosmos-dp", "cosmos-cp", "cosmos",
+    }
+    by_name = {row["design"]: row for row in rows}
+    # NP is the fastest; every protected design carries CTR state.
+    assert by_name["np"]["ipc"] >= max(
+        row["ipc"] for row in rows if row["design"] != "np"
+    )
+    assert by_name["np"]["ctr_miss_rate"] == 0.0

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario: prototyping a custom CTR-cache replacement policy.
+
+The library's replacement-policy interface is open: anything implementing
+``ReplacementPolicy`` can manage the CTR cache.  This example builds a
+simple frequency-based policy (evict the least-frequently-tagged line),
+plugs it into the MorphCtr design next to LRU and COSMOS's LCR, and
+compares CTR miss rates on an irregular trace — the experiment a systems
+researcher would run before committing to a new design point.
+
+Run with:  python examples/custom_policy_exploration.py
+"""
+
+from typing import List, Optional
+
+from repro.core.lcr_cache import LcrReplacementPolicy
+from repro.mem.replacement import CacheLine, ReplacementPolicy
+from repro.secure.counters import MorphCtrCounters
+from repro.secure.ctr_cache import CtrCache
+from repro.secure.layout import SecureLayout
+from repro.workloads.graph_algos import generate_graph_trace
+
+
+class LfuPolicy(ReplacementPolicy):
+    """Least-frequently-used eviction with a tiny per-line counter."""
+
+    name = "lfu"
+
+    def on_insert(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
+        line.locality_score = 1  # reuse the spare per-line field
+
+    def on_hit(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
+        line.locality_score = min(255, line.locality_score + 1)
+
+    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
+        return min(lines, key=lambda line: line.locality_score)
+
+
+def run_policy(policy, trace, label: str) -> float:
+    layout = SecureLayout.for_memory_size(4 * 1024**3)
+    cache = CtrCache(layout, MorphCtrCounters(), size_bytes=16 * 1024, assoc=16, policy=policy)
+    for access in trace:
+        cache.access(access.block_address)
+    print(f"  {label:<24} CTR miss rate: {cache.miss_rate:.3f}")
+    return cache.miss_rate
+
+
+def main() -> None:
+    print("Generating an irregular BFS trace ...")
+    trace = generate_graph_trace("bfs", max_accesses=60_000, graph_scale=1.0)
+    print("Replaying its block stream through a 16KB CTR cache under"
+          " three replacement policies:\n")
+    lru = run_policy(None, trace, "LRU (baseline)")
+    lfu = run_policy(LfuPolicy(), trace, "LFU (custom)")
+    lcr = run_policy(LcrReplacementPolicy(), trace, "LCR (untagged fallback)")
+    best = min((lru, "LRU"), (lfu, "LFU"), (lcr, "LCR"))
+    print(f"\nBest policy on this stream: {best[1]} ({best[0]:.3f} miss rate)")
+    print("Note: LCR only beats LRU when COSMOS's locality predictor tags"
+          " lines — see the full design comparison in the quickstart.")
+
+
+if __name__ == "__main__":
+    main()

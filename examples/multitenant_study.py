@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: multi-tenant consolidation under secure memory.
+
+A confidential-cloud operator co-schedules different tenants on one socket:
+a graph-analytics job, a key-value store and an ML inference service.  The
+tenants share the LLC and the memory controller — including the counter
+cache.  Does COSMOS still help when the CTR stream is a blend of regular
+and irregular traffic?  And is the gain statistically solid across
+workload seeds?
+
+Run with:  python examples/multitenant_study.py
+"""
+
+from repro.bench.stats import SampleSummary
+from repro.sim.config import scaled_paper_config
+from repro.sim.simulator import simulate
+from repro.workloads.db import generate_db_trace
+from repro.workloads.graph_algos import generate_graph_trace
+from repro.workloads.ml import generate_ml_trace
+from repro.workloads.trace import multiprogram
+
+
+def build_mix(seed: int):
+    """One tenant per core: graph + KV store + ML + graph."""
+    per_tenant = 25_000
+    return multiprogram(
+        [
+            generate_graph_trace("bfs", num_cores=1, max_accesses=per_tenant,
+                                 graph_scale=1.0, seed=seed),
+            generate_db_trace("ycsb", num_cores=1, max_accesses=per_tenant,
+                              seed=seed + 1),
+            generate_ml_trace("resnet", num_cores=1, max_accesses=per_tenant,
+                              seed=seed + 2),
+            generate_graph_trace("sp", num_cores=1, max_accesses=per_tenant,
+                                 graph_scale=1.0, seed=seed + 3),
+        ],
+        address_stride=1 << 29,
+    )
+
+
+def main() -> None:
+    config = scaled_paper_config(scale=16, num_cores=4)
+    speedups = []
+    print("Simulating a 4-tenant mix (bfs + ycsb + resnet + sp) over 3 seeds ...")
+    for seed in (11, 22, 33):
+        mix = build_mix(seed)
+        baseline = simulate("morphctr", mix, config, workload=mix.name)
+        cosmos = simulate("cosmos", mix, config, workload=mix.name)
+        gain = cosmos.speedup_over(baseline)
+        speedups.append(gain)
+        print(f"  seed {seed}: CTR miss {baseline.ctr_miss_rate:.1%} -> "
+              f"{cosmos.ctr_miss_rate:.1%}, COSMOS gain {100 * (gain - 1):+.1f}%")
+    summary = SampleSummary(tuple(speedups))
+    low, high = summary.interval
+    print(f"\nMean gain {100 * (summary.mean - 1):+.1f}%  "
+          f"(95% CI: {100 * (low - 1):+.1f}% .. {100 * (high - 1):+.1f}%)")
+    if low > 1.0:
+        print("The gain exceeds seed-to-seed noise: COSMOS helps the mixed"
+              " tenancy even with regular traffic blended in.")
+    else:
+        print("The interval includes 1.0: treat the gain as noise at this"
+              " trace length and add seeds.")
+
+
+if __name__ == "__main__":
+    main()

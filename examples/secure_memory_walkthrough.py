@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Walkthrough of the secure-memory machinery itself (paper Fig. 1).
+
+Exercises the functional substrate directly — no simulation:
+
+1. AES-CTR encryption with MorphCtr counters (ciphertext freshness),
+2. MAC generation and verification (tamper detection),
+3. the Merkle tree over counter lines (replay detection),
+4. counter-overflow handling (page re-encryption events).
+
+Run with:  python examples/secure_memory_walkthrough.py
+"""
+
+from repro.secure.aes import AesCtrEngine
+from repro.secure.counters import MorphCtrCounters, SplitCounters
+from repro.secure.mac import MacStore
+from repro.secure.merkle import MerkleTree
+
+
+def main() -> None:
+    aes = AesCtrEngine()
+    counters = MorphCtrCounters()
+    macs = MacStore()
+    tree = MerkleTree(num_leaves=64, arity=2)
+
+    # --- 1. Encrypt a line twice: counter mode never reuses a pad -------
+    block = 42
+    plaintext = b"sensitive tenant data, 64B...." + b"\x00" * 34
+    counters.increment(block)
+    first = aes.encrypt(plaintext, block << 6, counters.counter_value(block))
+    counters.increment(block)
+    second = aes.encrypt(plaintext, block << 6, counters.counter_value(block))
+    print("1. AES-CTR freshness")
+    print(f"   same plaintext, two writes -> ciphertexts differ: {first != second}")
+    recovered = aes.decrypt(second, block << 6, counters.counter_value(block))
+    print(f"   decryption recovers the plaintext: {recovered == plaintext}")
+
+    # --- 2. MAC catches data tampering ----------------------------------
+    counter = counters.counter_value(block)
+    macs.update(block, second, counter)
+    tampered = bytes([second[0] ^ 0x01]) + second[1:]
+    print("\n2. MAC integrity")
+    print(f"   genuine ciphertext verifies: {macs.verify(block, second, counter)}")
+    print(f"   single-bit flip detected:    {not macs.verify(block, tampered, counter)}")
+
+    # --- 3. Merkle tree catches counter replay --------------------------
+    ctr_line = counters.ctr_index(block)
+    payload_v2 = b"counter-line-state-v2"
+    tree.update_leaf(ctr_line, b"counter-line-state-v1")
+    tree.update_leaf(ctr_line, payload_v2)
+    print("\n3. Merkle-tree replay protection")
+    print(f"   current counter state verifies: {tree.verify_leaf(ctr_line, payload_v2)}")
+    print(
+        "   replayed old state rejected:    "
+        f"{not tree.verify_leaf(ctr_line, b'counter-line-state-v1')}"
+    )
+
+    # --- 4. Counter overflow triggers page re-encryption ----------------
+    print("\n4. Counter overflow / re-encryption")
+    split = SplitCounters()
+    writes = 0
+    while True:
+        writes += 1
+        event = split.increment(7)
+        if event is not None:
+            print(f"   split CTR (7-bit minor): overflow after {writes} writes"
+                  f" -> re-encrypt {event.num_blocks} blocks"
+                  f" ({event.dram_requests} background DRAM requests)")
+            break
+    morph_writes = 0
+    morph = MorphCtrCounters()
+    while morph_writes < 100_000:
+        morph_writes += 1
+        if morph.increment(7) is not None:
+            break
+    print(f"   MorphCtr (ZCC): a single hot block survives "
+          f"{morph_writes:,} writes without overflow "
+          f"(format: {morph.line_format(0)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: characterising a workload before choosing protection hardware.
+
+Before committing silicon to a counter-cache optimisation, an architect
+wants to know *why* a workload hurts: how irregular is it, how far apart
+are its reuses, and how skewed is its counter-line popularity?  This
+example runs the library's analysis toolkit over three very different
+traces — a graph kernel, an ML model and a synthetic Zipf stream — and
+prints the Section-3-style characterisation for each.
+
+Run with:  python examples/workload_characterization.py
+"""
+
+from repro.workloads.analysis import (
+    characterize,
+    ctr_line_popularity,
+    reuse_profile,
+)
+from repro.workloads.graph_algos import generate_graph_trace
+from repro.workloads.micro import zipf_trace
+from repro.workloads.ml import generate_ml_trace
+
+
+def describe(name: str, accesses) -> None:
+    summary = characterize(accesses)
+    profile = reuse_profile(accesses, granularity_shift=7)  # counter lines
+    popularity = sorted(ctr_line_popularity(accesses).values(), reverse=True)
+    hot_share = sum(popularity[: max(1, len(popularity) // 100)]) / max(sum(popularity), 1)
+    print(f"\n=== {name} ===")
+    print(f"  accesses              : {summary.accesses:,}")
+    print(f"  distinct 64B blocks   : {summary.distinct_blocks:,}")
+    print(f"  write fraction        : {summary.write_fraction:.1%}")
+    print(f"  sequential fraction   : {summary.sequential_fraction:.1%}")
+    print(f"  irregular?            : {summary.is_irregular}")
+    print(f"  top-1% ctr-line share : {hot_share:.1%}")
+    median = profile.median_distance()
+    print(f"  median CTR-line reuse : {median if median is not None else 'no reuse'}")
+    for capacity in (128, 512, 2048):
+        rate = 1.0 - profile.hit_rate_at(capacity)
+        print(f"  LRU CTR cache of {capacity:>5} lines -> miss rate {rate:.1%}")
+
+
+def main() -> None:
+    graph = generate_graph_trace("bfs", num_cores=1, max_accesses=30_000, graph_scale=0.5)
+    describe("BFS over a scale-free graph (irregular)", graph.accesses)
+
+    ml = generate_ml_trace("resnet", num_cores=1, max_accesses=30_000)
+    describe("ResNet inference (regular streaming)", ml.accesses)
+
+    synthetic = zipf_trace(n=30_000, alpha=1.2, seed=4)
+    describe("Zipf(1.2) synthetic stream (skewed popularity)", synthetic.accesses)
+
+    print(
+        "\nReading the output: irregular traces with long median reuse are"
+        "\nexactly where a bigger LRU counter cache stops paying (paper"
+        "\nFig. 3) and where COSMOS's locality-driven retention helps."
+    )
+
+
+if __name__ == "__main__":
+    main()

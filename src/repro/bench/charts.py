@@ -1,0 +1,88 @@
+"""Terminal charts: render experiment series without a plotting stack.
+
+This offline repository cannot ship matplotlib figures, so the harness
+renders the paper's *figure-shaped* results (bars per workload, curves
+over sweeps) as Unicode bar charts and sparklines directly in the
+terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Eighth-block ramp used by sparklines.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of ``values`` (empty string for no data)."""
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span == 0:
+        return _SPARKS[3] * len(values)
+    ramp: List[str] = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARKS) - 1))
+        ramp.append(_SPARKS[index])
+    return "".join(ramp)
+
+
+def bar_chart(
+    items: Dict[str, float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per labelled value."""
+    if not items:
+        return "(no data)"
+    limit = max_value if max_value is not None else max(items.values())
+    if limit <= 0:
+        limit = 1.0
+    label_width = max(len(label) for label in items)
+    lines: List[str] = []
+    for label, value in items.items():
+        filled = int(round(min(value, limit) / limit * width))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{label.ljust(label_width)}  {bar}  {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 8,
+    width: Optional[int] = None,
+) -> str:
+    """Multi-series scatter chart over a shared x-axis.
+
+    Each series gets a marker; rows are value buckets from high to low.
+    Good enough to see crossovers and trends in sweep results.
+    """
+    if not series or not x_values:
+        return "(no data)"
+    markers = "ox+*#@%&"
+    width = width if width is not None else len(x_values)
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for column, value in enumerate(values[:width]):
+            row = height - 1 - int((value - low) / span * (height - 1))
+            grid[row][column] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = high - span * row_index / (height - 1) if height > 1 else high
+        lines.append(f"{level:8.3g} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,1007 @@
+"""Per-figure/table experiment reproductions.
+
+One function per table and figure in the paper's evaluation.  Every
+function returns the rows it prints, so tests and benchmarks can assert on
+the reproduced shapes.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..core.config import CosmosConfig
+from ..core.overhead import compute_overhead
+from ..core.tuning import extract_footprint, tune_hyperparameters, tune_rewards
+from ..mem.hierarchy import HierarchyConfig
+from ..secure.engine import EngineConfig
+from ..sim.config import SimulationConfig
+from ..sim.simulator import Simulator, build_design
+from ..workloads.graph_algos import GRAPH_WORKLOADS
+from ..workloads.ml import ML_WORKLOADS
+from ..workloads.spec import SPEC_WORKLOADS
+from .report import geometric_mean, print_experiment
+from .runner import default_config, get_trace, run_design, run_matrix
+
+#: Default workload sets (paper Sec. 5).
+DEFAULT_GRAPHS = list(GRAPH_WORKLOADS)
+DEFAULT_IRREGULAR = DEFAULT_GRAPHS + list(SPEC_WORKLOADS)
+FIG15_GRAPHS = ["bfs", "dfs", "tc", "gc", "cc", "sp", "dc"]  # paper Fig. 15
+
+
+def _with_engine(config: SimulationConfig, engine: EngineConfig) -> SimulationConfig:
+    return SimulationConfig(
+        hierarchy=config.hierarchy,
+        memory_bytes=config.memory_bytes,
+        counter_scheme=config.counter_scheme,
+        engine=engine,
+        cosmos=config.cosmos,
+        cpu=config.cpu,
+    )
+
+
+def _with_cosmos(config: SimulationConfig, cosmos: CosmosConfig) -> SimulationConfig:
+    return SimulationConfig(
+        hierarchy=config.hierarchy,
+        memory_bytes=config.memory_bytes,
+        counter_scheme=config.counter_scheme,
+        engine=config.engine,
+        cosmos=cosmos,
+        cpu=config.cpu,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — memory traffic: non-protected vs secure (MorphCtr)
+# ----------------------------------------------------------------------
+def figure2(workloads: Optional[List[str]] = None, quiet: bool = False) -> List[Dict[str, object]]:
+    """Traffic breakdown and CTR miss rate, NP vs secure memory."""
+    workloads = workloads if workloads is not None else DEFAULT_GRAPHS
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        np_result = run_design("np", workload)
+        secure = run_design("morphctr", workload)
+        np_total = max(np_result.traffic.total, 1)
+        traffic = secure.traffic
+        rows.append(
+            {
+                "workload": workload,
+                "np_traffic": 1.0,
+                "secure_traffic": traffic.total / np_total,
+                "data_frac": (traffic.data_reads + traffic.data_writes) / max(traffic.total, 1),
+                "mt_frac": traffic.mt_reads / max(traffic.total, 1),
+                "reenc_frac": traffic.reencryption_requests / max(traffic.total, 1),
+                "ctr_miss_rate": secure.ctr_miss_rate,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            "Figure 2: memory traffic NP vs secure (MorphCtr)",
+            rows,
+            notes=[
+                "paper shape: MT-node reads dominate secure traffic;"
+                " re-encryption negligible; CTR miss ~90% on graph workloads",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — CTR cache size sweep
+# ----------------------------------------------------------------------
+def figure3(
+    workloads: Optional[List[str]] = None,
+    sizes_kb: Optional[List[int]] = None,
+    quiet: bool = False,
+) -> List[Dict[str, object]]:
+    """CTR-cache miss rate as capacity scales 128KB -> 2MB (scaled /16)."""
+    workloads = workloads if workloads is not None else ["dfs", "pr", "gc"]
+    sizes_kb = sizes_kb if sizes_kb is not None else [8, 16, 32, 64, 128]
+    rows: List[Dict[str, object]] = []
+    for size_kb in sizes_kb:
+        row: Dict[str, object] = {"ctr_cache_kb": size_kb, "paper_equiv_kb": size_kb * 16}
+        for workload in workloads:
+            config = default_config().with_ctr_cache_bytes(size_kb * 1024)
+            result = run_design("morphctr", workload, config)
+            row[f"{workload}_miss"] = result.ctr_miss_rate
+        rows.append(row)
+    if not quiet:
+        print_experiment(
+            "Figure 3: CTR cache size vs miss rate",
+            rows,
+            notes=["paper shape: 8x more capacity buys only ~5pp lower miss rate"],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — CTR access after L1 vs after LLC
+# ----------------------------------------------------------------------
+def figure4(workloads: Optional[List[str]] = None, quiet: bool = False) -> List[Dict[str, object]]:
+    """Early (post-L1) vs baseline (post-LLC) CTR access."""
+    workloads = workloads if workloads is not None else DEFAULT_GRAPHS
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        after_llc = run_design("morphctr", workload)
+        after_l1 = run_design("early", workload)
+        base_rw = max(
+            after_llc.traffic.data_reads + after_llc.traffic.data_writes
+            + after_llc.traffic.ctr_reads + after_llc.traffic.ctr_writes, 1
+        )
+        early_rw = (
+            after_l1.traffic.data_reads + after_l1.traffic.data_writes
+            + after_l1.traffic.ctr_reads + after_l1.traffic.ctr_writes
+        )
+        rows.append(
+            {
+                "workload": workload,
+                "miss_after_llc": after_llc.ctr_miss_rate,
+                "miss_after_l1": after_l1.ctr_miss_rate,
+                "rw_traffic_ratio": early_rw / base_rw,
+                "mt_reads_ratio": after_l1.traffic.mt_reads / max(after_llc.traffic.mt_reads, 1),
+            }
+        )
+    if not quiet:
+        print_experiment(
+            "Figure 4: CTR access after L1 vs after LLC",
+            rows,
+            notes=[
+                "paper shape: post-L1 access lowers CTR miss rate ~25%,"
+                " raises read/write traffic slightly (~5%), cuts MT reads ~25%",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — classic cache optimizations on the CTR cache
+# ----------------------------------------------------------------------
+def figure5(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Prefetchers and replacement policies on the (post-L1) CTR cache."""
+    config = default_config()
+    variants = [
+        ("baseline-lru", None, None),
+        ("next_line", "next_line", None),
+        ("stride", "stride", None),
+        ("berti", "berti", None),
+        ("rrip", None, "rrip"),
+        ("ship", None, "ship"),
+        ("mockingjay", None, "mockingjay"),
+    ]
+    rows: List[Dict[str, object]] = []
+    baseline_ipc = None
+    for label, prefetcher, policy in variants:
+        engine = replace(
+            config.engine, ctr_prefetcher_name=prefetcher, ctr_policy_name=policy
+        )
+        result = run_design("early", workload, _with_engine(config, engine))
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        rows.append(
+            {
+                "variant": label,
+                "ctr_miss_rate": result.ctr_miss_rate,
+                "ipc_vs_lru": result.ipc / baseline_ipc,
+                "dram_requests": result.traffic.total,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Figure 5: classic CTR-cache optimizations ({workload})",
+            rows,
+            notes=[
+                "paper shape: neither prefetching nor smart replacement helps;"
+                " prefetch accuracy ~1-5%, IPC flat or lower than LRU",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — online-learning convergence (BFS vs MLP)
+# ----------------------------------------------------------------------
+def figure8(
+    workloads: Optional[List[str]] = None,
+    snapshots: int = 5,
+    quiet: bool = False,
+) -> List[Dict[str, object]]:
+    """Prediction correctness + CTR miss rate as accesses accumulate."""
+    workloads = workloads if workloads is not None else ["bfs", "mlp"]
+    config = default_config()
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        trace = get_trace(workload)
+        interval = max(1, len(trace) // snapshots)
+        design = build_design("cosmos", config)
+        simulator = Simulator(design, config, workload)
+        series: List[Dict[str, object]] = []
+
+        def snap(done: int, sim: Simulator, workload=workload, series=series) -> None:
+            snapshot = sim.result()
+            series.append(
+                {
+                    "workload": workload,
+                    "accesses": done,
+                    "prediction_correctness": snapshot.extra.get("prediction_accuracy", 0.0),
+                    "ctr_miss_rate": snapshot.ctr_miss_rate,
+                }
+            )
+
+        simulator.run(trace, progress_hook=snap, progress_interval=interval)
+        snap(simulator.accesses, simulator)
+        rows.extend(series)
+    if not quiet:
+        from .charts import sparkline
+
+        print_experiment(
+            "Figure 8: RL convergence on BFS (graph) vs MLP (non-graph)",
+            rows,
+            notes=[
+                "paper shape: BFS converges quickly (~83% correct); MLP starts"
+                " lower but keeps improving via online learning",
+            ],
+        )
+        for workload in workloads:
+            series = [
+                row["prediction_correctness"] for row in rows if row["workload"] == workload
+            ]
+            print(f"  correctness({workload}): {sparkline(series)}")
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — CET size exploration
+# ----------------------------------------------------------------------
+def figure9(
+    workload: str = "dfs",
+    cet_sizes: Optional[List[int]] = None,
+    quiet: bool = False,
+) -> List[Dict[str, object]]:
+    """CET entries vs %good-locality tags and LCR-CTR miss rate."""
+    config = default_config()
+    cet_sizes = cet_sizes if cet_sizes is not None else [128, 256, 512, 1024, 2048, 4096]
+    rows: List[Dict[str, object]] = []
+    for entries in cet_sizes:
+        cosmos = replace(config.cosmos, cet_entries=entries)
+        result = run_design("cosmos", workload, _with_cosmos(config, cosmos))
+        rows.append(
+            {
+                "cet_entries": entries,
+                "paper_equiv_entries": entries * 16,
+                "good_locality_pct": 100 * result.extra.get("good_locality_fraction", 0.0),
+                "lcr_miss_rate": result.ctr_miss_rate,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Figure 9: CET size exploration ({workload})",
+            rows,
+            notes=[
+                "paper shape: larger CETs tag more accesses good-locality; the"
+                " LCR miss rate falls, bottoms out, then rises when too much"
+                " is tagged good",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — headline performance
+# ----------------------------------------------------------------------
+def figure10(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """MorphCtr / COSMOS-DP / COSMOS-CP / COSMOS normalised to NP."""
+    workloads = workloads if workloads is not None else DEFAULT_IRREGULAR
+    designs = ["np", "morphctr", "cosmos-dp", "cosmos-cp", "cosmos"]
+    matrix = run_matrix(designs, workloads)
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        np_result = matrix[workload]["np"]
+        row: Dict[str, object] = {"workload": workload}
+        for design in designs[1:]:
+            row[design] = matrix[workload][design].normalized_to(np_result)
+        rows.append(row)
+    mean_row: Dict[str, object] = {"workload": "geomean"}
+    for design in designs[1:]:
+        mean_row[design] = geometric_mean([float(row[design]) for row in rows])
+    rows.append(mean_row)
+    if not quiet:
+        from .charts import bar_chart
+
+        print_experiment(
+            "Figure 10: performance normalised to non-protected memory",
+            rows,
+            notes=[
+                "paper shape: COSMOS-DP ~+15%, COSMOS-CP ~+5%, full COSMOS"
+                " ~+25% over MorphCtr; ~33% residual overhead vs NP",
+            ],
+        )
+        geomean = rows[-1]
+        print()
+        print(bar_chart(
+            {design: float(geomean[design]) for design in designs[1:]},
+            max_value=1.0,
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — CTR cache miss rates per design
+# ----------------------------------------------------------------------
+def figure11(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """CTR-cache miss rate across MorphCtr and the COSMOS variants."""
+    workloads = workloads if workloads is not None else DEFAULT_GRAPHS
+    designs = ["morphctr", "cosmos-dp", "cosmos-cp", "cosmos"]
+    matrix = run_matrix(designs, workloads)
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        row: Dict[str, object] = {"workload": workload}
+        for design in designs:
+            row[design] = matrix[workload][design].ctr_miss_rate
+        rows.append(row)
+    if not quiet:
+        print_experiment(
+            "Figure 11: CTR cache miss rate by design",
+            rows,
+            notes=[
+                "paper shape: early access (DP, full) lowers the miss rate;"
+                " full COSMOS sits below COSMOS-DP; CP-only changes little",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — data-location prediction quality
+# ----------------------------------------------------------------------
+def figure12(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """Prediction outcome distribution + accuracy for the data predictor."""
+    workloads = workloads if workloads is not None else DEFAULT_GRAPHS
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        result = run_design("cosmos", workload)
+        rows.append(
+            {
+                "workload": workload,
+                "correct_on_chip": result.extra.get("pred_correct_on_chip", 0.0),
+                "correct_off_chip": result.extra.get("pred_correct_off_chip", 0.0),
+                "wrong_on_chip": result.extra.get("pred_wrong_on_chip", 0.0),
+                "wrong_off_chip": result.extra.get("pred_wrong_off_chip", 0.0),
+                "accuracy": result.extra.get("prediction_accuracy", 0.0),
+            }
+        )
+    if not quiet:
+        print_experiment(
+            "Figure 12: data-location prediction distribution and accuracy",
+            rows,
+            notes=["paper shape: ~85% average accuracy, dominated by correct off-chip"],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — %CTR accesses classified good locality
+# ----------------------------------------------------------------------
+def figure13(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """Good-locality fraction: full COSMOS vs COSMOS-CP."""
+    workloads = workloads if workloads is not None else DEFAULT_GRAPHS
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        full = run_design("cosmos", workload)
+        cp = run_design("cosmos-cp", workload)
+        rows.append(
+            {
+                "workload": workload,
+                "cosmos_good_pct": 100 * full.extra.get("good_locality_fraction", 0.0),
+                "cosmos_cp_good_pct": 100 * cp.extra.get("good_locality_fraction", 0.0),
+            }
+        )
+    if not quiet:
+        print_experiment(
+            "Figure 13: CTR accesses classified good locality",
+            rows,
+            notes=[
+                "paper shape: ~5% good at the post-LLC point (COSMOS-CP) vs"
+                " ~20% at the post-L1 point (full COSMOS)",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — SMAT
+# ----------------------------------------------------------------------
+def figure14(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """Secure Memory Access Time across the designs (Eq. 1-2)."""
+    workloads = workloads if workloads is not None else DEFAULT_GRAPHS
+    config = default_config()
+    designs = ["morphctr", "cosmos-cp", "cosmos-dp", "cosmos"]
+    matrix = run_matrix(designs, workloads)
+    dram_latency = 96.0  # row-miss latency + queueing of the DDR4 model
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        row: Dict[str, object] = {"workload": workload}
+        for design in designs:
+            result = matrix[workload][design]
+            row[design] = result.smat(
+                l1_latency=config.hierarchy.l1.latency,
+                l2_latency=config.hierarchy.l2.latency,
+                llc_latency=config.hierarchy.llc.latency,
+                dram_latency=dram_latency,
+                ctr_hit_latency=config.engine.ctr_lookup_latency
+                + config.engine.ctr_combine_latency,
+                ctr_dram_latency=dram_latency,
+                ctr_verify_latency=config.engine.aes_latency,
+            )
+        rows.append(row)
+    if not quiet:
+        print_experiment(
+            "Figure 14: Secure Memory Access Time (cycles)",
+            rows,
+            notes=["paper shape: COSMOS achieves the lowest SMAT of all designs"],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 15 — multi-core scaling
+# ----------------------------------------------------------------------
+def figure15(
+    workloads: Optional[List[str]] = None,
+    core_counts: Optional[List[int]] = None,
+    quiet: bool = False,
+) -> List[Dict[str, object]]:
+    """COSMOS vs MorphCtr at 4 and 8 cores (LLC scaled 2MB/core)."""
+    workloads = workloads if workloads is not None else FIG15_GRAPHS
+    core_counts = core_counts if core_counts is not None else [4, 8]
+    rows: List[Dict[str, object]] = []
+    for cores in core_counts:
+        config = default_config(num_cores=cores)
+        if cores != 4:
+            hierarchy = HierarchyConfig(
+                num_cores=cores,
+                l1=config.hierarchy.l1,
+                l2=config.hierarchy.l2,
+                llc=config.hierarchy.llc,
+            ).scaled_llc_for_cores()
+            config = SimulationConfig(
+                hierarchy=hierarchy,
+                memory_bytes=config.memory_bytes,
+                counter_scheme=config.counter_scheme,
+                engine=config.engine,
+                cosmos=config.cosmos,
+                cpu=config.cpu,
+            )
+        gains: List[float] = []
+        for workload in workloads:
+            np_result = run_design("np", workload, config, num_cores=cores)
+            base = run_design("morphctr", workload, config, num_cores=cores)
+            cosmos = run_design("cosmos", workload, config, num_cores=cores)
+            gains.append(cosmos.speedup_over(base))
+            rows.append(
+                {
+                    "cores": cores,
+                    "workload": workload,
+                    "morphctr_norm": base.normalized_to(np_result),
+                    "cosmos_norm": cosmos.normalized_to(np_result),
+                    "cosmos_gain": cosmos.speedup_over(base),
+                }
+            )
+        rows.append(
+            {
+                "cores": cores,
+                "workload": "geomean",
+                "morphctr_norm": "",
+                "cosmos_norm": "",
+                "cosmos_gain": geometric_mean(gains),
+            }
+        )
+    if not quiet:
+        print_experiment(
+            "Figure 15: multi-core scaling (4 vs 8 cores)",
+            rows,
+            notes=["paper shape: ~25% gain at 4 cores, ~26% at 8 cores"],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 16 — COSMOS vs EMCC (and RMCC)
+# ----------------------------------------------------------------------
+def figure16(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """COSMOS vs the idealised EMCC implementation, normalised to NP."""
+    workloads = workloads if workloads is not None else DEFAULT_GRAPHS
+    designs = ["np", "morphctr", "emcc", "rmcc", "cosmos"]
+    matrix = run_matrix(designs, workloads)
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        np_result = matrix[workload]["np"]
+        rows.append(
+            {
+                "workload": workload,
+                "morphctr": matrix[workload]["morphctr"].normalized_to(np_result),
+                "emcc": matrix[workload]["emcc"].normalized_to(np_result),
+                "rmcc": matrix[workload]["rmcc"].normalized_to(np_result),
+                "cosmos": matrix[workload]["cosmos"].normalized_to(np_result),
+            }
+        )
+    mean_row = {"workload": "geomean"}
+    for design in ("morphctr", "emcc", "rmcc", "cosmos"):
+        mean_row[design] = geometric_mean([float(row[design]) for row in rows])
+    rows.append(mean_row)
+    if not quiet:
+        print_experiment(
+            "Figure 16: COSMOS vs EMCC (normalised to NP)",
+            rows,
+            notes=[
+                "paper shape: EMCC ~+12% over MorphCtr; COSMOS ~+10% over EMCC",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 17 — regular (ML) workloads
+# ----------------------------------------------------------------------
+def figure17(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """COSMOS vs MorphCtr on regular-pattern ML inference workloads."""
+    workloads = workloads if workloads is not None else list(ML_WORKLOADS)
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        np_result = run_design("np", workload)
+        base = run_design("morphctr", workload)
+        cosmos = run_design("cosmos", workload)
+        reenc = base.traffic.reencryption_requests
+        rows.append(
+            {
+                "workload": workload,
+                "morphctr_norm": base.normalized_to(np_result),
+                "cosmos_norm": cosmos.normalized_to(np_result),
+                "cosmos_gain": cosmos.speedup_over(base),
+                "reenc_frac_of_traffic": reenc / max(base.traffic.total, 1),
+            }
+        )
+    if not quiet:
+        print_experiment(
+            "Figure 17: regular ML workloads",
+            rows,
+            notes=[
+                "paper shape: only ~3% gain (no regression); re-encryption"
+                " becomes the dominant secure-memory cost",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 1 — hyperparameter/reward tuning
+# ----------------------------------------------------------------------
+def table1(
+    workload: str = "dfs",
+    n_combinations: int = 20,
+    footprint_len: int = 60_000,
+    quiet: bool = False,
+) -> List[Dict[str, object]]:
+    """Reproduce the two-stage tuning flow on a DFS footprint."""
+    config = default_config()
+    trace = get_trace(workload)
+    footprint = extract_footprint(
+        trace.truncated(footprint_len), hierarchy_config=config.hierarchy
+    )
+    stage1 = tune_hyperparameters(footprint, n_combinations=n_combinations)
+    best_hyper = stage1.best.config.hyper
+    stage2 = tune_rewards(footprint, best_hyper, n_combinations=n_combinations)
+    best = stage2.best
+    rows = [
+        {
+            "stage": "stage1-best-hyper",
+            "alpha_d": best_hyper.alpha_d,
+            "gamma_d": best_hyper.gamma_d,
+            "epsilon_d": best_hyper.epsilon_d,
+            "alpha_c": best_hyper.alpha_c,
+            "gamma_c": best_hyper.gamma_c,
+            "epsilon_c": best_hyper.epsilon_c,
+            "lcr_hit_rate": stage1.best.hit_rate,
+        },
+        {
+            "stage": "paper-table1-hyper",
+            "alpha_d": 0.09,
+            "gamma_d": 0.88,
+            "epsilon_d": 0.1,
+            "alpha_c": 0.05,
+            "gamma_c": 0.35,
+            "epsilon_c": 0.001,
+            "lcr_hit_rate": "",
+        },
+        {
+            "stage": "stage2-best-rewards",
+            "alpha_d": round(best.config.data_rewards.r_hi, 1),
+            "gamma_d": round(best.config.data_rewards.r_mo, 1),
+            "epsilon_d": round(best.config.data_rewards.r_ho, 1),
+            "alpha_c": round(best.config.data_rewards.r_mi, 1),
+            "gamma_c": round(best.config.ctr_rewards.r_hg, 1),
+            "epsilon_c": round(best.config.ctr_rewards.r_mb, 1),
+            "lcr_hit_rate": best.hit_rate,
+        },
+    ]
+    if not quiet:
+        print_experiment(
+            "Table 1: hyperparameter and reward tuning (random search)",
+            rows,
+            notes=[
+                f"{n_combinations} combinations per stage (paper used 1000);"
+                " stage-2 columns show r_hi/r_mo/r_ho/r_mi/r_hg/r_mb",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2 — storage overhead
+# ----------------------------------------------------------------------
+def table2(quiet: bool = False) -> List[Dict[str, object]]:
+    """COSMOS storage/area/power overhead (computed from first principles)."""
+    report = compute_overhead()
+    rows = report.as_rows()
+    if not quiet:
+        print_experiment(
+            "Table 2: COSMOS storage overhead",
+            rows,
+            notes=[
+                f"total = {report.total_kilobytes:.1f}KB,"
+                f" {100 * report.fraction_of_llc():.2f}% of an 8MB LLC"
+                " (paper reports 147KB / 1.84%)",
+            ],
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 4 — design variations (exercised as a smoke matrix)
+# ----------------------------------------------------------------------
+def table4(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Run every design variation once and summarise."""
+    designs = ["np", "morphctr", "early", "emcc", "rmcc", "cosmos-dp", "cosmos-cp", "cosmos"]
+    rows: List[Dict[str, object]] = []
+    for design in designs:
+        result = run_design(design, workload)
+        rows.append(
+            {
+                "design": design,
+                "ipc": result.ipc,
+                "ctr_miss_rate": result.ctr_miss_rate,
+                "dram_requests": result.traffic.total,
+            }
+        )
+    if not quiet:
+        print_experiment(f"Table 4: design variations on {workload}", rows)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations beyond the paper's figures
+# ----------------------------------------------------------------------
+def ablation_counter_schemes(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Monolithic vs split vs MorphCtr counters under the baseline design."""
+    rows: List[Dict[str, object]] = []
+    for scheme in ("monolithic", "split", "morphctr"):
+        config = default_config()
+        config = SimulationConfig(
+            hierarchy=config.hierarchy,
+            memory_bytes=config.memory_bytes,
+            counter_scheme=scheme,
+            engine=config.engine,
+            cosmos=config.cosmos,
+            cpu=config.cpu,
+        )
+        result = run_design("morphctr", workload, config)
+        rows.append(
+            {
+                "scheme": scheme,
+                "ctr_miss_rate": result.ctr_miss_rate,
+                "ipc": result.ipc,
+                "ctr_reads": result.traffic.ctr_reads,
+                "reenc_requests": result.traffic.reencryption_requests,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Ablation: counter organisation ({workload})",
+            rows,
+            notes=["denser counters (MorphCtr 1:128) cache better than 1:8/1:64"],
+        )
+    return rows
+
+
+def ablation_mt_cache(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """MT-node cache capacity vs MT read traffic."""
+    rows: List[Dict[str, object]] = []
+    for size_kb in (0, 2, 8, 32, 128):
+        config = default_config()
+        engine = replace(config.engine, mt_cache_bytes=size_kb * 1024)
+        result = run_design("morphctr", workload, _with_engine(config, engine))
+        rows.append(
+            {
+                "mt_cache_kb": size_kb,
+                "mt_reads": result.traffic.mt_reads,
+                "ipc": result.ipc,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Ablation: MT-node cache size ({workload})",
+            rows,
+            notes=["a small verified-node cache collapses the leaf-to-root walk"],
+        )
+    return rows
+
+
+def ablation_hybrid(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Extension: COSMOS + universal early probing (``cosmos-early``).
+
+    The paper hints COSMOS composes with other designs; this measures the
+    natural hybrid that also probes the CTR cache on on-chip-predicted L1
+    misses (like EMCC), trading extra CTR/MT traffic for warmer counters.
+    """
+    rows: List[Dict[str, object]] = []
+    np_result = run_design("np", workload)
+    for design in ("morphctr", "emcc", "cosmos", "cosmos-early"):
+        result = run_design(design, workload)
+        rows.append(
+            {
+                "design": design,
+                "normalized_perf": result.normalized_to(np_result),
+                "ctr_miss_rate": result.ctr_miss_rate,
+                "mt_reads": result.traffic.mt_reads,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Ablation: COSMOS + universal early probe ({workload})",
+            rows,
+            notes=["extension beyond the paper; see EXPERIMENTS.md"],
+        )
+    return rows
+
+
+def ablation_lcr_policy(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Algorithm 2 interpretation study (EXPERIMENTS.md choice #3).
+
+    Compares the literal pseudo-code (score-based bad-line selection, no
+    aging) against our recency-aware reading, plus plain LRU at the same
+    capacity, all on the full-COSMOS stream.
+    """
+    from ..core.lcr_cache import LcrReplacementPolicy
+    from ..sim.simulator import build_design, Simulator
+
+    config = default_config()
+    trace = get_trace(workload)
+    variants = [
+        ("lru-plain", None),
+        ("lcr-literal", LcrReplacementPolicy(aging=0, bad_selection="score")),
+        ("lcr-score+aging", LcrReplacementPolicy(aging=1, aging_period=8, bad_selection="score")),
+        ("lcr-recency+aging", LcrReplacementPolicy()),  # our default
+    ]
+    rows: List[Dict[str, object]] = []
+    for label, policy in variants:
+        design = build_design("cosmos", config)
+        if policy is not None:
+            # Swap the CTR cache's policy before any accesses land.
+            design.engine.ctr_cache.cache.policy = policy
+        else:
+            from ..mem.replacement import LRUPolicy
+
+            design.engine.ctr_cache.cache.policy = LRUPolicy()
+        simulator = Simulator(design, config, workload)
+        result = simulator.run(trace)
+        rows.append(
+            {
+                "policy": label,
+                "ctr_miss_rate": result.ctr_miss_rate,
+                "ipc": result.ipc,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Ablation: LCR policy interpretations ({workload})",
+            rows,
+            notes=[
+                "the literal Algorithm 2 (permanent good tags, score-only"
+                " bad selection) underperforms; see EXPERIMENTS.md #3",
+            ],
+        )
+    return rows
+
+
+def ablation_synergy(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Extension: COSMOS composed with Synergy-style MAC-in-ECC.
+
+    The paper's footnote 1 says COSMOS "could also be applied to other
+    designs, such as ... Synergy".  With the MAC riding the ECC chip,
+    authentication costs no DRAM accesses; COSMOS's CTR-side gains stack
+    on top.
+    """
+    rows: List[Dict[str, object]] = []
+    np_result = run_design("np", workload)
+    for design in ("morphctr", "synergy", "cosmos", "cosmos-synergy"):
+        result = run_design(design, workload)
+        rows.append(
+            {
+                "design": design,
+                "normalized_perf": result.normalized_to(np_result),
+                "mac_accesses": result.traffic.mac_accesses,
+                "dram_requests": result.traffic.total,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Ablation: Synergy-style MAC-in-ECC composition ({workload})",
+            rows,
+            notes=["extension beyond the paper (footnote 1)"],
+        )
+    return rows
+
+
+def generality_db(
+    workloads: Optional[List[str]] = None, quiet: bool = False
+) -> List[Dict[str, object]]:
+    """Extension: does COSMOS generalise to database kernels?
+
+    COSMOS was tuned once on graph DFS (paper Sec. 4.5); the paper checks
+    generalisation on BFS and MLP (Fig. 8).  This experiment pushes
+    further: hash join, B+-tree lookups and a YCSB-like key-value mix —
+    irregular workloads from a domain the tuning never saw.
+    """
+    from ..workloads.db import DB_WORKLOADS
+
+    workloads = workloads if workloads is not None else list(DB_WORKLOADS)
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        np_result = run_design("np", workload)
+        base = run_design("morphctr", workload)
+        cosmos = run_design("cosmos", workload)
+        rows.append(
+            {
+                "workload": workload,
+                "morphctr_norm": base.normalized_to(np_result),
+                "cosmos_norm": cosmos.normalized_to(np_result),
+                "cosmos_gain": cosmos.speedup_over(base),
+                "prediction_accuracy": cosmos.extra.get("prediction_accuracy", 0.0),
+            }
+        )
+    if not quiet:
+        print_experiment(
+            "Generality: database kernels (untuned domain)",
+            rows,
+            notes=["extension beyond the paper; COSMOS tuned on graph DFS only"],
+        )
+    return rows
+
+
+def ablation_cpu_model(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Sensitivity of the headline conclusion to the IPC-proxy constants.
+
+    Our substitute for Gem5's OoO core has two free parameters: the MLP
+    overlap factor and the DRAM-channel serialisation cost.  This sweep
+    shows the COSMOS > MorphCtr ordering is not an artefact of one
+    calibration point.
+    """
+    from ..sim.config import CpuModel
+
+    rows: List[Dict[str, object]] = []
+    base = default_config()
+    trace = get_trace(workload)
+    from ..sim.simulator import simulate as _simulate
+
+    for mlp in (2.0, 4.0, 8.0):
+        for bandwidth in (2.0, 6.0, 12.0):
+            cpu = CpuModel(mlp_factor=mlp, dram_bandwidth_cycles_per_request=bandwidth)
+            config = SimulationConfig(
+                hierarchy=base.hierarchy,
+                memory_bytes=base.memory_bytes,
+                counter_scheme=base.counter_scheme,
+                engine=base.engine,
+                cosmos=base.cosmos,
+                cpu=cpu,
+            )
+            morphctr = _simulate("morphctr", trace, config, workload=workload)
+            cosmos = _simulate("cosmos", trace, config, workload=workload)
+            rows.append(
+                {
+                    "mlp_factor": mlp,
+                    "bandwidth_cycles": bandwidth,
+                    "cosmos_gain": cosmos.speedup_over(morphctr),
+                }
+            )
+    if not quiet:
+        print_experiment(
+            f"Ablation: IPC-proxy sensitivity ({workload})",
+            rows,
+            notes=["COSMOS's gain over MorphCtr must survive every corner"],
+        )
+    return rows
+
+
+def ablation_paging(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Extension: physical page placement vs COSMOS's benefit.
+
+    MorphCtr counters cover 8KB of *physical* address space, so OS page
+    placement shapes the spatial CTR locality COSMOS leans on.  Randomised
+    placement splits every counter granule across unrelated pages.
+    """
+    from ..mem.paging import (
+        PAGE_SIZE,
+        FirstTouchPageMapper,
+        IdentityPageMapper,
+        RandomizedPageMapper,
+        remap_accesses,
+    )
+    from ..sim.simulator import simulate as _simulate
+
+    config = default_config()
+    trace = get_trace(workload)
+    rows: List[Dict[str, object]] = []
+    frame_space = config.memory_bytes // PAGE_SIZE
+    for mapper in (
+        IdentityPageMapper(),
+        FirstTouchPageMapper(),
+        RandomizedPageMapper(seed=3, frame_space=frame_space),
+    ):
+        accesses = remap_accesses(trace.accesses, mapper)
+        base = _simulate("morphctr", accesses, config, workload=workload)
+        cosmos = _simulate("cosmos", accesses, config, workload=workload)
+        rows.append(
+            {
+                "page_mapping": mapper.name,
+                "morphctr_ctr_miss": base.ctr_miss_rate,
+                "cosmos_ctr_miss": cosmos.ctr_miss_rate,
+                "cosmos_gain": cosmos.speedup_over(base),
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Ablation: physical page placement ({workload})",
+            rows,
+            notes=[
+                "randomised placement fragments 8KB counter granules;"
+                " extension beyond the paper",
+            ],
+        )
+    return rows
+
+
+def ablation_exploration(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
+    """Epsilon sweep for the data-location predictor."""
+    rows: List[Dict[str, object]] = []
+    config = default_config()
+    for epsilon in (0.0, 0.01, 0.1, 0.3, 0.6):
+        hyper = replace(config.cosmos.hyper, epsilon_d=epsilon)
+        cosmos = replace(config.cosmos, hyper=hyper)
+        result = run_design("cosmos-dp", workload, _with_cosmos(config, cosmos))
+        rows.append(
+            {
+                "epsilon_d": epsilon,
+                "prediction_accuracy": result.extra.get("prediction_accuracy", 0.0),
+                "ipc": result.ipc,
+            }
+        )
+    if not quiet:
+        print_experiment(
+            f"Ablation: exploration rate ({workload})",
+            rows,
+            notes=["some exploration adapts to phase changes; too much hurts"],
+        )
+    return rows

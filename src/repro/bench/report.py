@@ -1,0 +1,52 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, using these fixed-width table utilities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (paper-style cross-workload avg)."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def format_table(rows: List[Dict[str, object]], columns: Sequence[str] = None) -> str:
+    """Render a list of dicts as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        rendered.append([_format_cell(row.get(column, "")) for column in columns])
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_experiment(title: str, rows: List[Dict[str, object]], columns: Sequence[str] = None,
+                     notes: Iterable[str] = ()) -> None:
+    """Print one experiment's reproduction block."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}")
+    print(format_table(rows, columns))
+    for note in notes:
+        print(f"  note: {note}")

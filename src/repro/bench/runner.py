@@ -1,0 +1,159 @@
+"""Shared machinery for the per-figure experiment harness.
+
+Centralises the evaluation methodology so every figure/table reproduction
+uses identical settings:
+
+* the scaled paper configuration (``scaled_paper_config(16)``; see
+  EXPERIMENTS.md for the scaling substitution),
+* deterministic trace generation with an on-disk cache (numpy ``.npz``),
+* environment knobs for quick runs::
+
+      REPRO_TRACE_LEN     total accesses per trace (default 150000)
+      REPRO_GRAPH_SCALE   graph size multiplier     (default 4.0)
+      REPRO_QUICK=1       shrink traces 5x for smoke runs
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..sim.config import SimulationConfig, scaled_paper_config
+from ..sim.results import SimulationResult
+from ..sim.simulator import simulate
+from ..workloads.db import DB_WORKLOADS, generate_db_trace
+from ..workloads.graph_algos import GRAPH_WORKLOADS, generate_graph_trace
+from ..workloads.ml import ML_WORKLOADS, generate_ml_trace
+from ..workloads.spec import SPEC_WORKLOADS, generate_spec_trace
+from ..workloads.trace import Trace
+
+#: Cache directory for generated traces (safe to delete at any time).
+CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".trace_cache"))
+
+
+def trace_length() -> int:
+    """Trace length honouring the environment knobs."""
+    length = int(os.environ.get("REPRO_TRACE_LEN", "150000"))
+    if os.environ.get("REPRO_QUICK"):
+        length //= 5
+    return length
+
+
+def graph_scale() -> float:
+    """Graph scale honouring the environment knob."""
+    return float(os.environ.get("REPRO_GRAPH_SCALE", "4.0"))
+
+
+def default_config(num_cores: int = 4) -> SimulationConfig:
+    """The harness's standard configuration (scaled Table 3)."""
+    return scaled_paper_config(scale=16, num_cores=num_cores)
+
+
+# ----------------------------------------------------------------------
+# Trace generation with caching
+# ----------------------------------------------------------------------
+_MEMORY_CACHE: Dict[str, Trace] = {}
+
+
+def get_trace(
+    workload: str,
+    num_cores: int = 4,
+    max_accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Trace:
+    """Deterministic trace for ``workload``, cached in memory and on disk.
+
+    ``workload`` may be any graph kernel, SPEC benchmark, ML model or
+    ``mlp``.  ``seed`` overrides the generator's default seed — used by
+    the multi-seed statistics helpers.
+    """
+    from ..workloads.serialization import load_trace, save_trace
+
+    length = max_accesses if max_accesses is not None else trace_length()
+    scale = graph_scale()
+    key = f"{workload}-c{num_cores}-n{length}-g{scale}"
+    if seed is not None:
+        key += f"-s{seed}"
+    cached = _MEMORY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    path = CACHE_DIR / f"{key}.npz"
+    if path.exists():
+        trace = load_trace(path)
+        _MEMORY_CACHE[key] = trace
+        return trace
+    trace = _generate(workload, num_cores, length, scale, seed)
+    _MEMORY_CACHE[key] = trace
+    try:
+        save_trace(trace, path)
+    except OSError:
+        pass  # caching is best-effort; generation stays deterministic
+    return trace
+
+
+def _generate(
+    workload: str, num_cores: int, length: int, scale: float, seed: Optional[int] = None
+) -> Trace:
+    seeds = {} if seed is None else {"seed": seed}
+    if workload in GRAPH_WORKLOADS:
+        return generate_graph_trace(
+            workload, num_cores=num_cores, max_accesses=length, graph_scale=scale, **seeds
+        )
+    if workload in SPEC_WORKLOADS:
+        return generate_spec_trace(workload, num_cores=num_cores, max_accesses=length, **seeds)
+    if workload in ML_WORKLOADS or workload == "mlp":
+        return generate_ml_trace(workload, num_cores=num_cores, max_accesses=length, **seeds)
+    if workload in DB_WORKLOADS:
+        return generate_db_trace(workload, num_cores=num_cores, max_accesses=length, **seeds)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+# ----------------------------------------------------------------------
+# Runs
+# ----------------------------------------------------------------------
+_RESULT_CACHE: Dict[tuple, SimulationResult] = {}
+
+
+def run_design(
+    design: str,
+    workload: str,
+    config: Optional[SimulationConfig] = None,
+    num_cores: int = 4,
+    max_accesses: Optional[int] = None,
+) -> SimulationResult:
+    """Simulate one (design, workload) pair under the standard methodology.
+
+    Runs under the *default* configuration are memoised for the lifetime of
+    the process — several figures (10, 11, 12, 13) report different metrics
+    of the same runs, exactly as the paper does.
+    """
+    cache_key = None
+    if config is None:
+        cache_key = (design, workload, num_cores,
+                     max_accesses if max_accesses is not None else trace_length(),
+                     graph_scale())
+        cached = _RESULT_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+        config = default_config(num_cores)
+    trace = get_trace(workload, num_cores=num_cores, max_accesses=max_accesses)
+    result = simulate(design, trace, config, workload=workload)
+    if cache_key is not None:
+        _RESULT_CACHE[cache_key] = result
+    return result
+
+
+def run_matrix(
+    designs: List[str],
+    workloads: List[str],
+    config: Optional[SimulationConfig] = None,
+    num_cores: int = 4,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Results indexed as ``matrix[workload][design]``."""
+    matrix: Dict[str, Dict[str, SimulationResult]] = {}
+    for workload in workloads:
+        matrix[workload] = {}
+        for design in designs:
+            matrix[workload][design] = run_design(design, workload, config, num_cores)
+    return matrix

@@ -1,0 +1,114 @@
+"""Multi-seed statistics for simulation results.
+
+The paper reports single runs; a careful reproduction should show that the
+claimed gaps exceed run-to-run noise.  These helpers repeat a comparison
+over several workload-generator seeds and summarise the distribution with
+a Student-t confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..sim.config import SimulationConfig
+from ..sim.simulator import simulate
+from .runner import default_config, get_trace
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean / spread / confidence interval of one measured quantity."""
+
+    values: tuple
+    confidence: float = 0.95
+
+    @property
+    def n(self) -> int:
+        """Sample count."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1)."""
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the Student-t confidence interval."""
+        if len(self.values) < 2:
+            return 0.0
+        try:
+            from scipy import stats as scipy_stats
+
+            t_value = scipy_stats.t.ppf(0.5 + self.confidence / 2, df=self.n - 1)
+        except ImportError:  # pragma: no cover - scipy ships with the repo env
+            t_value = 1.96
+        return t_value * self.std / math.sqrt(self.n)
+
+    @property
+    def interval(self) -> tuple:
+        """(low, high) confidence bounds around the mean."""
+        half = self.ci_halfwidth
+        return (self.mean - half, self.mean + half)
+
+    def excludes(self, value: float) -> bool:
+        """True when ``value`` lies outside the confidence interval."""
+        low, high = self.interval
+        return value < low or value > high
+
+
+@dataclass
+class SeededComparison:
+    """Per-seed speedups of one design over another."""
+
+    design: str
+    baseline: str
+    workload: str
+    seeds: List[int] = field(default_factory=list)
+    speedups: List[float] = field(default_factory=list)
+
+    def summary(self, confidence: float = 0.95) -> SampleSummary:
+        """Distribution summary of the measured speedups."""
+        return SampleSummary(tuple(self.speedups), confidence)
+
+    @property
+    def significant_gain(self) -> bool:
+        """True when the CI of the speedup excludes 1.0 from below."""
+        summary = self.summary()
+        return summary.n >= 2 and summary.interval[0] > 1.0
+
+
+def compare_over_seeds(
+    design: str,
+    baseline: str,
+    workload: str,
+    seeds: Sequence[int] = (1, 2, 3),
+    config: Optional[SimulationConfig] = None,
+    max_accesses: Optional[int] = None,
+) -> SeededComparison:
+    """Measure ``design``'s speedup over ``baseline`` across seeds.
+
+    Each seed generates a fresh trace (same distribution, different
+    randomness); both designs see the identical trace per seed.
+    """
+    config = config if config is not None else default_config()
+    comparison = SeededComparison(design=design, baseline=baseline, workload=workload)
+    for seed in seeds:
+        trace = get_trace(workload, max_accesses=max_accesses, seed=seed)
+        base_result = simulate(baseline, trace, config, workload=workload)
+        design_result = simulate(design, trace, config, workload=workload)
+        comparison.seeds.append(seed)
+        comparison.speedups.append(design_result.speedup_over(base_result))
+    return comparison

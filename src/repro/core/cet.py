@@ -1,0 +1,139 @@
+"""CTR Evaluation Table (CET).
+
+An LRU-managed buffer that tracks recent CTR accesses so the locality
+predictor can grade its own predictions (paper Sec. 4.1.1, "Observable").
+Each entry records the RL state and predicted action for one counter line;
+a later access to the same line — or to one within a +/-32-line spatial
+radius — counts as evidence of good locality, while an LRU eviction is
+evidence of bad locality.
+
+The paper's Algorithm 1 expresses the nearby-match as hashing every address
+in ``[ctr_addr-32, ctr_addr+32]`` and probing the CET for any of those
+states; we index entries by counter-line address in coarse regions so the
+same predicate is evaluated with O(1) work per access.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+
+@dataclass
+class CetEntry:
+    """One CET record: where it lives plus the prediction being graded."""
+
+    ctr_block: int
+    state: int
+    action: int
+
+
+class CtrEvaluationTable:
+    """LRU buffer of recent CTR accesses with spatial nearby-matching.
+
+    Args:
+        capacity: Maximum resident entries (paper: 8,192).
+        radius: Nearby-match radius in counter-line addresses (paper: 32).
+    """
+
+    def __init__(self, capacity: int = 8192, radius: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if radius < 0:
+            raise ValueError("radius must be >= 0")
+        self.capacity = capacity
+        self.radius = radius
+        self._entries: "OrderedDict[int, CetEntry]" = OrderedDict()
+        # Coarse spatial index: region id -> resident ctr blocks. Region
+        # width equals the radius rounded up to a power of two so a +/-r
+        # window spans at most three regions.
+        self._region_shift = max(1, radius).bit_length()
+        self._regions: Dict[int, Set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _region(self, ctr_block: int) -> int:
+        return ctr_block >> self._region_shift
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, ctr_block: int) -> Optional[CetEntry]:
+        """Exact-match probe; refreshes LRU position on hit."""
+        entry = self._entries.get(ctr_block)
+        if entry is not None:
+            self._entries.move_to_end(ctr_block)
+        return entry
+
+    def probe_nearby(self, ctr_block: int) -> Optional[CetEntry]:
+        """Probe for ``ctr_block`` or any resident line within the radius.
+
+        Returns the closest matching entry (exact match preferred) and
+        refreshes its LRU position, mirroring Algorithm 1 line 9.
+        """
+        exact = self.probe(ctr_block)
+        if exact is not None:
+            return exact
+        if self.radius == 0:
+            return None
+        best: Optional[int] = None
+        best_distance = self.radius + 1
+        region = self._region(ctr_block)
+        for region_id in (region - 1, region, region + 1):
+            residents = self._regions.get(region_id)
+            if not residents:
+                continue
+            for candidate in residents:
+                distance = abs(candidate - ctr_block)
+                if distance <= self.radius and distance < best_distance:
+                    best = candidate
+                    best_distance = distance
+        if best is None:
+            return None
+        entry = self._entries[best]
+        self._entries.move_to_end(best)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Insertion / eviction
+    # ------------------------------------------------------------------
+    def insert(self, ctr_block: int, state: int, action: int) -> Optional[CetEntry]:
+        """Insert or refresh an entry; returns the LRU victim if one fell out."""
+        existing = self._entries.get(ctr_block)
+        if existing is not None:
+            existing.state = state
+            existing.action = action
+            self._entries.move_to_end(ctr_block)
+            return None
+        evicted: Optional[CetEntry] = None
+        if len(self._entries) >= self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            self._unindex(evicted.ctr_block)
+        entry = CetEntry(ctr_block, state, action)
+        self._entries[ctr_block] = entry
+        self._regions.setdefault(self._region(ctr_block), set()).add(ctr_block)
+        return evicted
+
+    def _unindex(self, ctr_block: int) -> None:
+        region = self._region(ctr_block)
+        residents = self._regions.get(region)
+        if residents is not None:
+            residents.discard(ctr_block)
+            if not residents:
+                del self._regions[region]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> Optional[CetEntry]:
+        """Most recently touched entry (Algorithm 1's ``CET.head``)."""
+        if not self._entries:
+            return None
+        return next(reversed(self._entries.values()))
+
+    def contains(self, ctr_block: int) -> bool:
+        """Exact residency check without LRU side effects."""
+        return ctr_block in self._entries

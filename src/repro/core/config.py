@@ -1,0 +1,100 @@
+"""Configuration for COSMOS: reward values, hyperparameters, sizes.
+
+Defaults reproduce the paper's Table 1 (tuned rewards/hyperparameters) and
+Table 2 (structure sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DataPredictorRewards:
+    """Rewards for the data-location predictor (paper Table 1).
+
+    Naming follows the paper: ``hi`` = correct on-chip ("hit-in"), ``mo`` =
+    correct off-chip ("miss-out"), ``ho`` = wrong off-chip prediction when
+    data was on-chip, ``mi`` = wrong on-chip prediction when data was
+    off-chip.
+    """
+
+    r_hi: float = 9.0
+    r_mo: float = 12.0
+    r_ho: float = -20.0
+    r_mi: float = -30.0
+
+
+@dataclass(frozen=True)
+class CtrPredictorRewards:
+    """Rewards for the CTR locality predictor (paper Table 1).
+
+    ``hg``/``hb``: CET hit with a good/bad prediction; ``mg``/``mb``: CET
+    miss with a good/bad prediction; ``eg``/``eb``: CET eviction of an entry
+    predicted good/bad.
+    """
+
+    r_hg: float = 13.0
+    r_hb: float = -12.0
+    r_mg: float = -16.0
+    r_mb: float = 20.0
+    r_eg: float = -22.0
+    r_eb: float = 26.0
+
+
+@dataclass(frozen=True)
+class Hyperparameters:
+    """Learning rates, discount factors and exploration rates (Table 1)."""
+
+    alpha_d: float = 0.09
+    gamma_d: float = 0.88
+    epsilon_d: float = 0.1
+    alpha_c: float = 0.05
+    gamma_c: float = 0.35
+    epsilon_c: float = 0.001
+
+    def __post_init__(self) -> None:
+        for name in ("alpha_d", "gamma_d", "alpha_c", "gamma_c"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        for name in ("epsilon_d", "epsilon_c"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class CosmosConfig:
+    """Top-level COSMOS configuration (paper Tables 1-3).
+
+    Attributes:
+        num_states: Q-table entries for each predictor (16,384).
+        cet_entries: Capacity of the CTR Evaluation Table (8,192).
+        cet_radius_blocks: Spatial radius, in counter-line addresses, of
+            the CET nearby-match.  Algorithm 1 line 9 probes hashed states
+            for ``[ctr_addr-32, ctr_addr+32]`` *byte* addresses; since the
+            state hash drops the low 6 bits, a +/-32B window reaches at
+            most the adjacent counter line, hence the default of 1.
+        lcr_cache_bytes: Capacity of the LCR-CTR cache.  The paper states
+            "128KB CTR cache per core" for the baseline system (Sec. 3.1)
+            and lists the LCR-CTR cache as 128KB (Table 3); we read both
+            as per-core figures, giving 512KB total on the 4-core system —
+            the reading that makes the baseline and COSMOS storage
+            comparable (see EXPERIMENTS.md).
+        lcr_cache_assoc: Ways per set of the LCR-CTR cache.
+        hyper: Learning-rate / discount / exploration settings.
+        data_rewards: Data-location predictor rewards.
+        ctr_rewards: CTR locality predictor rewards.
+        seed: RNG seed for exploration.
+    """
+
+    num_states: int = 16384
+    cet_entries: int = 8192
+    cet_radius_blocks: int = 1
+    lcr_cache_bytes: int = 512 * 1024
+    lcr_cache_assoc: int = 16
+    hyper: Hyperparameters = field(default_factory=Hyperparameters)
+    data_rewards: DataPredictorRewards = field(default_factory=DataPredictorRewards)
+    ctr_rewards: CtrPredictorRewards = field(default_factory=CtrPredictorRewards)
+    seed: int = 1234

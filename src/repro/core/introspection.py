@@ -1,0 +1,118 @@
+"""Introspection utilities for the RL predictors.
+
+Answers the questions a designer asks of a trained agent: how much of the
+state space has it actually visited?  How decided is its policy?  What do
+the Q-values look like?  Used by the convergence experiments and by the
+test-suite to assert the agents learn *something* rather than drifting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .rl import QTable
+
+
+@dataclass(frozen=True)
+class PolicySnapshot:
+    """Aggregate view of one Q-table's learned policy."""
+
+    num_states: int
+    touched_states: int
+    action_counts: Tuple[int, ...]
+    mean_abs_q: float
+    mean_margin: float
+    decision_entropy_bits: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of states whose Q-values moved off initialisation."""
+        if self.num_states == 0:
+            return 0.0
+        return self.touched_states / self.num_states
+
+    @property
+    def dominant_action(self) -> int:
+        """Most common greedy action across all states."""
+        return max(range(len(self.action_counts)), key=self.action_counts.__getitem__)
+
+
+def snapshot_policy(table: QTable, initial_value: float = 0.0) -> PolicySnapshot:
+    """Summarise a Q-table's policy.
+
+    Args:
+        table: The Q-table to inspect.
+        initial_value: The value untouched entries still hold; states where
+            every action sits exactly at this value count as unvisited.
+    """
+    action_counts = [0] * table.num_actions
+    touched = 0
+    abs_sum = 0.0
+    margin_sum = 0.0
+    for state in range(table.num_states):
+        values = [table.q(state, action) for action in range(table.num_actions)]
+        if any(value != initial_value for value in values):
+            touched += 1
+        best = max(values)
+        second = sorted(values)[-2] if len(values) > 1 else best
+        margin_sum += best - second
+        abs_sum += sum(abs(value) for value in values) / len(values)
+        action_counts[values.index(best)] += 1
+    total = table.num_states
+    entropy = 0.0
+    for count in action_counts:
+        if count:
+            p = count / total
+            entropy -= p * math.log2(p)
+    return PolicySnapshot(
+        num_states=total,
+        touched_states=touched,
+        action_counts=tuple(action_counts),
+        mean_abs_q=abs_sum / total if total else 0.0,
+        mean_margin=margin_sum / total if total else 0.0,
+        decision_entropy_bits=entropy,
+    )
+
+
+def q_value_histogram(table: QTable, bins: int = 16) -> Dict[str, List[float]]:
+    """Histogram of all Q-values, for quick distribution checks.
+
+    Returns:
+        Dict with ``edges`` (bin boundaries, len bins+1) and ``counts``.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    values = [
+        table.q(state, action)
+        for state in range(table.num_states)
+        for action in range(table.num_actions)
+    ]
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    counts = [0.0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    edges = [low + span * i / bins for i in range(bins + 1)]
+    return {"edges": edges, "counts": counts}
+
+
+def policy_agreement(table_a: QTable, table_b: QTable) -> float:
+    """Fraction of states where two tables pick the same greedy action.
+
+    Useful for convergence studies: agreement between checkpoints taken N
+    accesses apart approaches 1.0 once the policy stabilises.
+    """
+    if table_a.num_states != table_b.num_states:
+        raise ValueError("tables must share a state space")
+    if table_a.num_states == 0:
+        return 1.0
+    same = sum(
+        1
+        for state in range(table_a.num_states)
+        if table_a.best_action(state) == table_b.best_action(state)
+    )
+    return same / table_a.num_states

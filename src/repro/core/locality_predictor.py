@@ -1,0 +1,139 @@
+"""RL-based CTR locality predictor (paper Sec. 4.2, Algorithm 1).
+
+For every CTR access the predictor hashes the counter-line address into a
+state, picks good/bad locality epsilon-greedily from the CTR Q-table, and
+grades itself against the CTR Evaluation Table: a nearby CET hit means the
+line had good locality, a miss means it did not, and a CET eviction is the
+final verdict of bad locality.  The resulting tag (1-bit flag + 8-bit
+quantised Q-score) drives the LCR-CTR cache replacement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .cet import CtrEvaluationTable
+from .config import CosmosConfig
+from .hashing import hash_block
+from .rl import EpsilonGreedy, QTable
+
+#: Action indices.
+BAD_LOCALITY = 0
+GOOD_LOCALITY = 1
+
+
+@dataclass
+class LocalityPredictorStats:
+    """Prediction/grading counters for the locality predictor."""
+
+    predictions: int = 0
+    good_predictions: int = 0
+    cet_hits: int = 0
+    cet_misses: int = 0
+    cet_evictions: int = 0
+    rewarded_correct: int = 0
+    rewarded_incorrect: int = 0
+
+    @property
+    def good_fraction(self) -> float:
+        """Fraction of CTR accesses classified good locality (Fig. 13)."""
+        if self.predictions == 0:
+            return 0.0
+        return self.good_predictions / self.predictions
+
+    @property
+    def grading_accuracy(self) -> float:
+        """Fraction of graded predictions that matched the CET evidence."""
+        graded = self.rewarded_correct + self.rewarded_incorrect
+        if graded == 0:
+            return 0.0
+        return self.rewarded_correct / graded
+
+
+class CtrLocalityPredictor:
+    """Classifies each CTR access as good or bad locality (Algorithm 1)."""
+
+    def __init__(self, config: Optional[CosmosConfig] = None) -> None:
+        self.config = config if config is not None else CosmosConfig()
+        hyper = self.config.hyper
+        self.q_table = QTable(self.config.num_states, num_actions=2)
+        self.cet = CtrEvaluationTable(
+            capacity=self.config.cet_entries,
+            radius=self.config.cet_radius_blocks,
+        )
+        self._selector = EpsilonGreedy(
+            hyper.epsilon_c, num_actions=2, seed=self.config.seed * 2 + 1
+        )
+        self._alpha = hyper.alpha_c
+        self._gamma = hyper.gamma_c
+        self._rewards = self.config.ctr_rewards
+        self.stats = LocalityPredictorStats()
+
+    def state_of(self, ctr_block: int) -> int:
+        """Hashed RL state for a counter-line address."""
+        return hash_block(ctr_block, self.config.num_states)
+
+    def predict(self, ctr_block: int) -> Tuple[int, int]:
+        """Run one decision+training step for a CTR access.
+
+        Follows Algorithm 1: select the action, grade it against the CET
+        (nearby hit => good-locality evidence), update the Q-table with the
+        head-of-CET bootstrap, insert the new observation, and settle the
+        final reward for any evicted entry.
+
+        Returns:
+            Tuple ``(action, score)`` where ``action`` is
+            :data:`GOOD_LOCALITY`/:data:`BAD_LOCALITY` and ``score`` is the
+            8-bit quantised Q-value used by the LCR-CTR cache.
+        """
+        state = self.state_of(ctr_block)
+        action = self._selector.select(self.q_table, state)
+        self.stats.predictions += 1
+        if action == GOOD_LOCALITY:
+            self.stats.good_predictions += 1
+
+        # Grade against CET evidence (Algorithm 1 lines 9-15).
+        rewards = self._rewards
+        nearby = self.cet.probe_nearby(ctr_block)
+        if nearby is not None:
+            self.stats.cet_hits += 1
+            correct = action == GOOD_LOCALITY
+            reward = rewards.r_hg if correct else rewards.r_hb
+        else:
+            self.stats.cet_misses += 1
+            correct = action == BAD_LOCALITY
+            reward = rewards.r_mb if correct else rewards.r_mg
+        if correct:
+            self.stats.rewarded_correct += 1
+        else:
+            self.stats.rewarded_incorrect += 1
+
+        # Bootstrap from the most recent CET entry (lines 16-17).
+        bootstrap = self._head_bootstrap()
+        self.q_table.update(state, action, reward, self._alpha, self._gamma, bootstrap)
+
+        # Record the observation; settle evicted entries (lines 18-23).
+        evicted = self.cet.insert(ctr_block, state, action)
+        if evicted is not None:
+            self.stats.cet_evictions += 1
+            if evicted.action == GOOD_LOCALITY:
+                evict_reward = rewards.r_eg
+            else:
+                evict_reward = rewards.r_eb
+            self.q_table.update(
+                evicted.state,
+                evicted.action,
+                evict_reward,
+                self._alpha,
+                self._gamma,
+                self._head_bootstrap(),
+            )
+        score = self.q_table.quantized(state, action)
+        return action, score
+
+    def _head_bootstrap(self) -> float:
+        head = self.cet.head
+        if head is None:
+            return 0.0
+        return self.q_table.max_q(head.state)

@@ -1,0 +1,146 @@
+"""RL-based data location predictor (paper Sec. 4.4, Algorithm 3).
+
+On every L1 miss the predictor hashes the data address into a state and
+classifies the block as on-chip (L2/LLC will hit) or off-chip (DRAM).  An
+off-chip prediction lets COSMOS start the DRAM fetch and the CTR-cache
+access immediately after the L1 miss, removing L2/LLC lookup latency from
+the critical path.  The actual hit level — observed by the concurrent cache
+walk — supplies the reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .config import CosmosConfig
+from .hashing import hash_block
+from .rl import EpsilonGreedy, QTable
+
+#: Action indices.
+ON_CHIP = 0
+OFF_CHIP = 1
+
+
+@dataclass
+class LocationPredictorStats:
+    """Outcome accounting matching the paper's Figure 12 categories."""
+
+    correct_on_chip: int = 0
+    correct_off_chip: int = 0
+    wrong_on_chip: int = 0  # predicted on-chip, data was off-chip (R_D_mi)
+    wrong_off_chip: int = 0  # predicted off-chip, data was on-chip (R_D_ho)
+
+    @property
+    def predictions(self) -> int:
+        """Total graded predictions."""
+        return (
+            self.correct_on_chip
+            + self.correct_off_chip
+            + self.wrong_on_chip
+            + self.wrong_off_chip
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of predictions that matched the actual location."""
+        total = self.predictions
+        if total == 0:
+            return 0.0
+        return (self.correct_on_chip + self.correct_off_chip) / total
+
+    @property
+    def off_chip_predictions(self) -> int:
+        """Total off-chip classifications (right or wrong)."""
+        return self.correct_off_chip + self.wrong_off_chip
+
+    @property
+    def off_chip_misprediction_rate(self) -> float:
+        """Of the off-chip predictions, the fraction that were on-chip.
+
+        The paper reports ~12% and notes these still usefully warm the CTR
+        cache (Sec. 6.1.2).
+        """
+        total = self.off_chip_predictions
+        if total == 0:
+            return 0.0
+        return self.wrong_off_chip / total
+
+    def distribution(self) -> dict:
+        """Fractional breakdown of the four outcomes (Fig. 12)."""
+        total = self.predictions
+        if total == 0:
+            return {
+                "correct_on_chip": 0.0,
+                "correct_off_chip": 0.0,
+                "wrong_on_chip": 0.0,
+                "wrong_off_chip": 0.0,
+            }
+        return {
+            "correct_on_chip": self.correct_on_chip / total,
+            "correct_off_chip": self.correct_off_chip / total,
+            "wrong_on_chip": self.wrong_on_chip / total,
+            "wrong_off_chip": self.wrong_off_chip / total,
+        }
+
+
+class DataLocationPredictor:
+    """Predicts whether a block is on-chip or off-chip after an L1 miss."""
+
+    def __init__(self, config: Optional[CosmosConfig] = None) -> None:
+        self.config = config if config is not None else CosmosConfig()
+        hyper = self.config.hyper
+        self.q_table = QTable(self.config.num_states, num_actions=2)
+        self._selector = EpsilonGreedy(
+            hyper.epsilon_d, num_actions=2, seed=self.config.seed * 2
+        )
+        self._alpha = hyper.alpha_d
+        self._gamma = hyper.gamma_d
+        self._rewards = self.config.data_rewards
+        self.stats = LocationPredictorStats()
+
+    def state_of(self, block_address: int) -> int:
+        """Hashed RL state for a data block address."""
+        return hash_block(block_address, self.config.num_states)
+
+    def predict(self, block_address: int) -> Tuple[int, int]:
+        """Classify a block after an L1 miss.
+
+        Returns:
+            Tuple ``(action, state)``; the state is handed back to
+            :meth:`train` once the actual location is known.
+        """
+        state = self.state_of(block_address)
+        action = self._selector.select(self.q_table, state)
+        return action, state
+
+    def train(self, state: int, action: int, actually_on_chip: bool) -> float:
+        """Grade a prediction against the observed location (lines 8-20).
+
+        The bootstrap term follows Algorithm 3 line 19-20: the successor
+        action ``a`` is the *actual* location, and the update discounts
+        ``Q(S, a)``.
+
+        Returns:
+            The reward that was applied.
+        """
+        rewards = self._rewards
+        if actually_on_chip:
+            actual_action = ON_CHIP
+            if action == ON_CHIP:
+                reward = rewards.r_hi
+                self.stats.correct_on_chip += 1
+            else:
+                reward = rewards.r_ho
+                self.stats.wrong_off_chip += 1
+        else:
+            actual_action = OFF_CHIP
+            if action == OFF_CHIP:
+                reward = rewards.r_mo
+                self.stats.correct_off_chip += 1
+            else:
+                reward = rewards.r_mi
+                self.stats.wrong_on_chip += 1
+        bootstrap = self.q_table.q(state, actual_action)
+        self.q_table.update(state, action, reward, self._alpha, self._gamma, bootstrap)
+        return reward

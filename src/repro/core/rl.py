@@ -1,0 +1,114 @@
+"""Tabular reinforcement-learning primitives shared by both predictors.
+
+COSMOS keeps two small Q-tables (16,384 states x 2 actions, 8-bit Q-values
+each; paper Table 2).  Selection is epsilon-greedy and updates follow the
+one-step bootstrapped rule used in Algorithms 1 and 3:
+
+    Q(S, A) <- Q(S, A) + alpha * [R + gamma * Q(S2, A2) - Q(S, A)]
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: Q-values are stored as 8-bit signed integers in hardware (Table 2);
+#: we clamp to the same range so the software model has the same dynamics.
+Q_MIN = -128.0
+Q_MAX = 127.0
+
+
+class QTable:
+    """A dense ``num_states x num_actions`` table of clamped Q-values.
+
+    Args:
+        num_states: Number of hashed RL states.
+        num_actions: Number of discrete actions (2 for both predictors).
+        initial_value: Starting Q-value for every pair.
+    """
+
+    def __init__(self, num_states: int, num_actions: int = 2, initial_value: float = 0.0) -> None:
+        if num_states <= 0 or num_actions <= 0:
+            raise ValueError("num_states and num_actions must be positive")
+        self.num_states = num_states
+        self.num_actions = num_actions
+        self._table: List[List[float]] = [
+            [initial_value] * num_actions for _ in range(num_states)
+        ]
+
+    def q(self, state: int, action: int) -> float:
+        """Q-value of (state, action)."""
+        return self._table[state][action]
+
+    def best_action(self, state: int) -> int:
+        """Greedy action for ``state`` (lowest index wins ties)."""
+        row = self._table[state]
+        best = 0
+        best_q = row[0]
+        for action in range(1, self.num_actions):
+            if row[action] > best_q:
+                best = action
+                best_q = row[action]
+        return best
+
+    def max_q(self, state: int) -> float:
+        """Highest Q-value available in ``state``."""
+        return max(self._table[state])
+
+    def update(
+        self,
+        state: int,
+        action: int,
+        reward: float,
+        alpha: float,
+        gamma: float,
+        bootstrap: float = 0.0,
+    ) -> float:
+        """Apply the one-step update; returns the new (clamped) Q-value.
+
+        ``bootstrap`` carries the successor value term (``Q(S2, A2)`` in
+        Algorithm 1, ``Q(S, a_actual)`` in Algorithm 3).
+        """
+        row = self._table[state]
+        current = row[action]
+        updated = current + alpha * (reward + gamma * bootstrap - current)
+        updated = min(Q_MAX, max(Q_MIN, updated))
+        row[action] = updated
+        return updated
+
+    def quantized(self, state: int, action: int) -> int:
+        """The Q-value as the 8-bit integer hardware would store."""
+        return int(round(self.q(state, action)))
+
+
+class EpsilonGreedy:
+    """Epsilon-greedy action selection with a seeded RNG.
+
+    With probability ``epsilon`` a uniformly random action is taken for
+    exploration (paper Sec. 4.5); otherwise the greedy action is used.
+    """
+
+    def __init__(self, epsilon: float, num_actions: int = 2, seed: int = 0) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.num_actions = num_actions
+        self._rng = random.Random(seed)
+        self.explorations = 0
+        self.exploitations = 0
+
+    def select(self, table: QTable, state: int) -> int:
+        """Pick an action for ``state`` from ``table``."""
+        if self._rng.random() < self.epsilon:
+            self.explorations += 1
+            return self._rng.randrange(self.num_actions)
+        self.exploitations += 1
+        return table.best_action(state)
+
+    @property
+    def exploration_fraction(self) -> float:
+        """Observed fraction of exploratory selections."""
+        total = self.explorations + self.exploitations
+        if total == 0:
+            return 0.0
+        return self.explorations / total

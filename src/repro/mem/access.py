@@ -1,0 +1,60 @@
+"""Core memory-access data types shared across the simulator.
+
+Every workload generator emits a stream of :class:`MemoryAccess` records and
+every component of the memory hierarchy consumes them.  Addresses are byte
+addresses; the cache-line granularity used throughout the project is 64 bytes
+(:data:`BLOCK_SIZE`), matching the paper's configuration (Table 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Cache-line size in bytes used by the whole system (paper: 64B lines).
+BLOCK_SIZE = 64
+
+#: log2 of :data:`BLOCK_SIZE`; used to convert byte to block addresses.
+BLOCK_SHIFT = 6
+
+
+class AccessType(enum.IntEnum):
+    """Kind of memory operation carried by a trace record."""
+
+    READ = 0
+    WRITE = 1
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory operation in a trace.
+
+    Attributes:
+        address: Byte address touched by the operation.
+        type: Whether the operation reads or writes.
+        core: Index of the core issuing the access (0-based).
+    """
+
+    address: int
+    type: AccessType = AccessType.READ
+    core: int = 0
+
+    @property
+    def block_address(self) -> int:
+        """Cache-block (line) address of the access."""
+        return self.address >> BLOCK_SHIFT
+
+    @property
+    def is_write(self) -> bool:
+        """True when the access is a store."""
+        return self.type == AccessType.WRITE
+
+
+def block_of(address: int) -> int:
+    """Return the cache-block address containing ``address``."""
+    return address >> BLOCK_SHIFT
+
+
+def block_base(address: int) -> int:
+    """Return the byte address of the first byte of the enclosing block."""
+    return (address >> BLOCK_SHIFT) << BLOCK_SHIFT

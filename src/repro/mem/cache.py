@@ -1,0 +1,198 @@
+"""Set-associative cache model.
+
+This is the building block for every cache in the system: the per-core L1s
+and L2s, the shared LLC, the CTR cache in the memory controller, the
+Merkle-tree node cache, and (via a custom policy) COSMOS's LCR-CTR cache.
+
+The model is functional + statistical: it tracks residency, dirtiness and
+policy metadata per line and reports hits/misses/evictions, but does not
+model ports or MSHRs — consistent with the trace-driven methodology in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .access import BLOCK_SHIFT, BLOCK_SIZE
+from .replacement import CacheLine, LRUPolicy, ReplacementPolicy
+from .stats import CacheStats
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class Cache:
+    """A set-associative cache addressed by block address.
+
+    Args:
+        size_bytes: Total capacity in bytes.
+        assoc: Number of ways per set.
+        block_size: Line size in bytes (default 64, matching the system).
+        policy: Replacement policy instance; defaults to a fresh LRU.
+        name: Label used in reports.
+        writeback_sink: Optional callable invoked with the victim's block
+            address whenever a dirty line is evicted.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        block_size: int = BLOCK_SIZE,
+        policy: Optional[ReplacementPolicy] = None,
+        name: str = "cache",
+        writeback_sink: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if block_size != (1 << BLOCK_SHIFT) and not _is_power_of_two(block_size):
+            raise ValueError("block_size must be a power of two")
+        if size_bytes % (assoc * block_size) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by assoc*block "
+                f"({assoc}*{block_size})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_size = block_size
+        self.num_sets = size_bytes // (assoc * block_size)
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError(f"{name}: number of sets ({self.num_sets}) must be a power of two")
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.stats = CacheStats()
+        self.writeback_sink = writeback_sink
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def set_index(self, block_address: int) -> int:
+        """Set index for ``block_address`` (a block, not byte, address)."""
+        return block_address & (self.num_sets - 1)
+
+    def tag(self, block_address: int) -> int:
+        """Tag bits for ``block_address``."""
+        return block_address >> self.num_sets.bit_length() - 1 if self.num_sets > 1 else block_address
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def lookup(self, block_address: int) -> bool:
+        """Return True if the block is resident, without touching state."""
+        index = self.set_index(block_address)
+        return block_address in self._sets[index]
+
+    def access(self, block_address: int, is_write: bool = False) -> bool:
+        """Perform a demand access; returns True on hit.
+
+        On a miss the block is *not* inserted automatically — callers decide
+        whether/when to fill (e.g. after modelling the fill latency) via
+        :meth:`fill`.
+        """
+        index = self.set_index(block_address)
+        line = self._sets[index].get(block_address)
+        if line is not None:
+            self.stats.hits += 1
+            if line.prefetched and not line.referenced:
+                self.stats.prefetch_useful += 1
+            line.referenced = True
+            if is_write:
+                line.dirty = True
+            self.policy.on_hit(index, line, context=block_address << BLOCK_SHIFT)
+            return True
+        self.stats.misses += 1
+        return False
+
+    def access_and_fill(self, block_address: int, is_write: bool = False) -> bool:
+        """Demand access that fills the block on a miss; returns True on hit."""
+        if self.access(block_address, is_write):
+            return True
+        self.fill(block_address, dirty=is_write)
+        return False
+
+    def fill(self, block_address: int, dirty: bool = False, prefetched: bool = False) -> Optional[int]:
+        """Insert a block, evicting a victim if the set is full.
+
+        Returns:
+            The evicted block address, or None when no eviction occurred.
+        """
+        index = self.set_index(block_address)
+        target_set = self._sets[index]
+        if block_address in target_set:
+            line = target_set[block_address]
+            if dirty:
+                line.dirty = True
+            return None
+        evicted_address: Optional[int] = None
+        if len(target_set) >= self.assoc:
+            victim = self.policy.victim(index, list(target_set.values()))
+            evicted_address = victim.tag
+            self._evict_line(index, victim)
+        line = CacheLine(block_address)
+        line.dirty = dirty
+        line.prefetched = prefetched
+        target_set[block_address] = line
+        self.policy.on_insert(index, line, context=block_address << BLOCK_SHIFT)
+        return evicted_address
+
+    def _evict_line(self, index: int, line: CacheLine) -> None:
+        del self._sets[index][line.tag]
+        self.stats.evictions += 1
+        if line.prefetched and not line.referenced:
+            self.stats.prefetch_evicted_unused += 1
+        if line.dirty:
+            self.stats.writebacks += 1
+            if self.writeback_sink is not None:
+                self.writeback_sink(line.tag)
+        self.policy.on_evict(index, line)
+
+    def invalidate(self, block_address: int) -> bool:
+        """Drop a block if resident (no writeback); returns True if dropped."""
+        index = self.set_index(block_address)
+        line = self._sets[index].pop(block_address, None)
+        return line is not None
+
+    def get_line(self, block_address: int) -> Optional[CacheLine]:
+        """Return the resident line's metadata, or None."""
+        index = self.set_index(block_address)
+        return self._sets[index].get(block_address)
+
+    def flush(self) -> int:
+        """Evict every resident line (issuing writebacks); returns count."""
+        flushed = 0
+        for index, target_set in enumerate(self._sets):
+            for line in list(target_set.values()):
+                self._evict_line(index, line)
+                flushed += 1
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(target_set) for target_set in self._sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Maximum number of resident lines."""
+        return self.num_sets * self.assoc
+
+    def resident_blocks(self) -> List[int]:
+        """All resident block addresses (order unspecified)."""
+        blocks: List[int] = []
+        for target_set in self._sets:
+            blocks.extend(target_set.keys())
+        return blocks
+
+    def set_contents(self, index: int) -> Tuple[CacheLine, ...]:
+        """Lines currently resident in set ``index``."""
+        return tuple(self._sets[index].values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache(name={self.name!r}, size={self.size_bytes}, assoc={self.assoc}, "
+            f"sets={self.num_sets}, policy={self.policy.name})"
+        )

@@ -1,0 +1,133 @@
+"""DDR4 DRAM timing model.
+
+Models the latency-relevant behaviour of a DDR4_2400_16x4 channel (paper
+Table 3): banks with open-row buffers, where a row hit costs column access
+only and a row miss pays precharge + activate + column access.  A light
+contention model adds queueing delay proportional to recent utilisation.
+
+Latencies are expressed in CPU cycles at 3 GHz to match the rest of the
+cycle accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .access import BLOCK_SHIFT
+
+
+@dataclass
+class DramTimings:
+    """Timing parameters in CPU cycles (3 GHz core, DDR4-2400).
+
+    Defaults approximate tCL/tRCD/tRP of 13.75ns each at 3 GHz (~41 cycles)
+    plus data burst transfer.
+    """
+
+    cas: int = 41
+    rcd: int = 41
+    rp: int = 41
+    burst: int = 8
+    queue_penalty: int = 6
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Cycles for a read that hits the open row."""
+        return self.cas + self.burst
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Cycles for a read that must precharge and activate first."""
+        return self.rp + self.rcd + self.cas + self.burst
+
+
+@dataclass
+class DramStats:
+    """Request and row-buffer accounting for a DRAM subsystem."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_cycles: int = 0
+    per_channel: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        """Total requests serviced."""
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests hitting an open row."""
+        if self.requests == 0:
+            return 0.0
+        return self.row_hits / self.requests
+
+
+@dataclass
+class DramModel:
+    """Open-page DDR4 memory with per-bank row buffers.
+
+    Address mapping row:bank:channel:column — column (within-row) bits
+    lowest, then channel bits (so rows interleave across channels), then
+    bank bits, row bits on top.  Streaming accesses fill a whole row
+    before moving on.
+    """
+
+    timings: DramTimings = field(default_factory=DramTimings)
+    num_banks: int = 16
+    num_channels: int = 1
+    row_size_bytes: int = 2048
+    stats: DramStats = field(default_factory=DramStats)
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ValueError("num_channels must be >= 1")
+        self._open_rows: Dict[tuple, int] = {}
+        self._column_shift = (self.row_size_bytes // (1 << BLOCK_SHIFT)).bit_length() - 1
+        self._channel_shift = self._column_shift + (self.num_channels.bit_length() - 1)
+        self._bank_shift = self._channel_shift + (self.num_banks.bit_length() - 1)
+
+    def _decode(self, block_address: int) -> tuple:
+        channel = (block_address >> self._column_shift) % self.num_channels
+        bank = (block_address >> self._channel_shift) % self.num_banks
+        row = block_address >> self._bank_shift
+        return channel, bank, row
+
+    def request(self, block_address: int, is_write: bool = False) -> int:
+        """Service one 64B request; returns its latency in cycles."""
+        channel, bank, row = self._decode(block_address)
+        self.stats.per_channel[channel] = self.stats.per_channel.get(channel, 0) + 1
+        bank = (channel, bank)
+        open_row = self._open_rows.get(bank)
+        if open_row == row:
+            latency = self.timings.row_hit_latency
+            self.stats.row_hits += 1
+        else:
+            latency = self.timings.row_miss_latency
+            self.stats.row_misses += 1
+            self._open_rows[bank] = row
+        latency += self.timings.queue_penalty
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.stats.busy_cycles += latency
+        return latency
+
+    def average_latency(self) -> float:
+        """Mean latency per request; falls back to row-miss when idle."""
+        if self.stats.requests == 0:
+            return float(self.timings.row_miss_latency + self.timings.queue_penalty)
+        return self.stats.busy_cycles / self.stats.requests
+
+    def reset(self) -> None:
+        """Clear open rows and statistics."""
+        self._open_rows.clear()
+        self.stats = DramStats()
+
+    def reset_stats(self) -> None:
+        """Zero statistics but keep row-buffer state (for warmup)."""
+        self.stats = DramStats()

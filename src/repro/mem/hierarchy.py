@@ -1,0 +1,236 @@
+"""Multi-core cache hierarchy: per-core L1/L2 plus a shared LLC.
+
+Geometry and latencies follow the paper's Table 3: per-core 32KB 2-way L1
+(2 cycles) and 1MB 8-way L2 (20 cycles), and an 8MB 16-way shared LLC (128
+cycles).  Dirty evictions out of the LLC are surfaced through a writeback
+sink so the secure-memory engine can charge CTR-increment/MAC/re-encryption
+work for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .access import MemoryAccess
+from .cache import Cache
+from .prefetchers import make_prefetcher
+
+
+@dataclass
+class LevelConfig:
+    """Geometry + access latency for one cache level."""
+
+    size_bytes: int
+    assoc: int
+    latency: int
+
+
+@dataclass
+class HierarchyConfig:
+    """Per-core and shared cache level configuration (paper Table 3).
+
+    ``l2_prefetcher`` names a per-core hardware prefetcher fed by the L1
+    miss stream ("none"/"stride"/"next_line"/"berti").  A stride prefetcher
+    is on by default, matching the Gem5 baseline the paper simulates:
+    without one, a trace-driven model overstates how much a streaming
+    workload suffers from sequential cache lookups — and therefore how
+    much COSMOS's bypass helps it.
+    """
+
+    num_cores: int = 4
+    l1: LevelConfig = field(default_factory=lambda: LevelConfig(32 * 1024, 2, 2))
+    l2: LevelConfig = field(default_factory=lambda: LevelConfig(1024 * 1024, 8, 20))
+    llc: LevelConfig = field(default_factory=lambda: LevelConfig(8 * 1024 * 1024, 16, 128))
+    l2_prefetcher: str = "stride"
+
+    def scaled_llc_for_cores(self) -> "HierarchyConfig":
+        """Return a copy with the LLC scaled 2MB-per-core (paper Fig. 15).
+
+        The paper's 8-core experiment uses a 16MB shared LLC; this helper
+        applies the same 2MB/core scaling rule for any core count.
+        """
+        scaled = LevelConfig(2 * 1024 * 1024 * self.num_cores, self.llc.assoc, self.llc.latency)
+        return HierarchyConfig(
+            num_cores=self.num_cores,
+            l1=self.l1,
+            l2=self.l2,
+            llc=scaled,
+            l2_prefetcher=self.l2_prefetcher,
+        )
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of walking the hierarchy for one access.
+
+    Attributes:
+        hit_level: ``"L1"``, ``"L2"``, ``"LLC"`` or ``"MEM"``.
+        lookup_latency: Cycles spent probing caches up to (and including)
+            the level that hit, or through the LLC on a full miss.
+        l1_miss: True when the access missed the (core-private) L1.
+        needs_memory: True when the block must come from DRAM.
+    """
+
+    hit_level: str
+    lookup_latency: int
+    l1_miss: bool
+    needs_memory: bool
+
+
+class MemoryHierarchy:
+    """Three-level multi-core hierarchy with inclusive fills.
+
+    Args:
+        config: Level geometry and latencies.
+        memory_write_sink: Called with the block address of every dirty line
+            evicted from the LLC (i.e. every DRAM write the hierarchy
+            generates).
+    """
+
+    def __init__(
+        self,
+        config: Optional[HierarchyConfig] = None,
+        memory_write_sink: Optional[Callable[[int], None]] = None,
+        prefetch_fill_sink: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.config = config if config is not None else HierarchyConfig()
+        cores = self.config.num_cores
+        if cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.prefetch_fill_sink = prefetch_fill_sink
+        self._prefetchers = None
+        if self.config.l2_prefetcher and self.config.l2_prefetcher != "none":
+            self._prefetchers = [
+                make_prefetcher(self.config.l2_prefetcher) for _ in range(cores)
+            ]
+        self.memory_write_sink = memory_write_sink
+        self.l1: List[Cache] = []
+        self.l2: List[Cache] = []
+        self.llc = Cache(
+            self.config.llc.size_bytes,
+            self.config.llc.assoc,
+            name="LLC",
+            writeback_sink=self._llc_writeback,
+        )
+        # Dirty evictions cascade down: L1 -> L2 -> LLC -> memory, so a
+        # store eventually reaches the secure-memory write path no matter
+        # which level it is evicted from.
+        for core in range(cores):
+            l2 = Cache(
+                self.config.l2.size_bytes,
+                self.config.l2.assoc,
+                name=f"L2[{core}]",
+                writeback_sink=lambda block: self.llc.fill(block, dirty=True),
+            )
+            l1 = Cache(
+                self.config.l1.size_bytes,
+                self.config.l1.assoc,
+                name=f"L1[{core}]",
+                writeback_sink=(lambda l2cache: lambda block: l2cache.fill(block, dirty=True))(l2),
+            )
+            self.l1.append(l1)
+            self.l2.append(l2)
+
+    def _llc_writeback(self, block_address: int) -> None:
+        if self.memory_write_sink is not None:
+            self.memory_write_sink(block_address)
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+    def access(self, access: MemoryAccess) -> HierarchyResult:
+        """Walk the hierarchy for one access, filling caches on the way back.
+
+        The walk is sequential (L1 -> L2 -> LLC) as in the baseline secure
+        memory design; early/parallel CTR access is modelled by the secure
+        designs on top of the returned :class:`HierarchyResult`.
+        """
+        core = access.core
+        if core >= self.config.num_cores:
+            raise ValueError(
+                f"access from core {core} but hierarchy has {self.config.num_cores} cores"
+            )
+        block = access.block_address
+        is_write = access.is_write
+        latency = self.config.l1.latency
+        if self.l1[core].access(block, is_write):
+            return HierarchyResult("L1", latency, l1_miss=False, needs_memory=False)
+        self._run_prefetcher(block, core)
+        latency += self.config.l2.latency
+        if self.l2[core].access(block, is_write):
+            self.l1[core].fill(block, dirty=is_write)
+            return HierarchyResult("L2", latency, l1_miss=True, needs_memory=False)
+        latency += self.config.llc.latency
+        if self.llc.access(block, is_write):
+            self.l2[core].fill(block)
+            self.l1[core].fill(block, dirty=is_write)
+            return HierarchyResult("LLC", latency, l1_miss=True, needs_memory=False)
+        self.fill_from_memory(block, core, dirty=is_write)
+        return HierarchyResult("MEM", latency, l1_miss=True, needs_memory=True)
+
+    def _run_prefetcher(self, block: int, core: int) -> None:
+        """Feed the per-core L2 prefetcher with the L1-miss stream.
+
+        Prefetched blocks fill L2 (and LLC when they come from memory).
+        Fills from memory are reported through ``prefetch_fill_sink`` so
+        the owning design can charge DRAM traffic — and, for protected
+        designs, the counter fetch the decryption needs.
+        """
+        if self._prefetchers is None:
+            return
+        for candidate in self._prefetchers[core].observe(block):
+            if candidate < 0 or self.l2[core].lookup(candidate):
+                continue
+            if not self.llc.lookup(candidate):
+                if self.prefetch_fill_sink is not None:
+                    self.prefetch_fill_sink(candidate)
+                self.llc.fill(candidate, prefetched=True)
+            self.l2[core].fill(candidate, prefetched=True)
+
+    def probe_on_chip(self, block_address: int, core: int) -> bool:
+        """Non-destructive residency check across L1/L2/LLC for ``core``.
+
+        Used as ground truth by the data-location predictor's training
+        process (the "observable" in the paper's Sec. 4.1.2).
+        """
+        return (
+            self.l1[core].lookup(block_address)
+            or self.l2[core].lookup(block_address)
+            or self.llc.lookup(block_address)
+        )
+
+    def fill_from_memory(self, block_address: int, core: int, dirty: bool = False) -> None:
+        """Install a block fetched from DRAM into LLC, L2 and L1."""
+        self.llc.fill(block_address)
+        self.l2[core].fill(block_address)
+        self.l1[core].fill(block_address, dirty=dirty)
+
+    def flush(self) -> None:
+        """Flush every level (dirty LLC lines reach the writeback sink)."""
+        for cache in self.l1:
+            cache.flush()
+        for cache in self.l2:
+            cache.flush()
+        self.llc.flush()
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def l1_miss_rate(self) -> float:
+        """Demand miss rate aggregated over all core-private L1s."""
+        hits = sum(cache.stats.hits for cache in self.l1)
+        misses = sum(cache.stats.misses for cache in self.l1)
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def l2_miss_rate(self) -> float:
+        """Demand miss rate aggregated over all core-private L2s."""
+        hits = sum(cache.stats.hits for cache in self.l2)
+        misses = sum(cache.stats.misses for cache in self.l2)
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def llc_miss_rate(self) -> float:
+        """Demand miss rate of the shared LLC."""
+        return self.llc.stats.miss_rate

@@ -1,0 +1,119 @@
+"""Virtual-to-physical page mapping models.
+
+The workload generators emit *virtual* addresses with contiguous
+structures.  Real systems place those pages in physical memory according
+to OS policy — and since counters cover 8KB of *physical* address space
+(128 x 64B under MorphCtr), page placement directly shapes the spatial CTR
+locality COSMOS exploits.  Three mappers model the interesting policies:
+
+* :class:`IdentityPageMapper` — physical == virtual (the default used by
+  the experiments; models a large-page / contiguous allocation).
+* :class:`FirstTouchPageMapper` — pages get densely packed physical frames
+  in first-touch order (a fresh-boot buddy allocator).
+* :class:`RandomizedPageMapper` — pages land on pseudo-random frames (a
+  fragmented machine, or deliberate randomisation for side-channel
+  defence); this splits every 8KB counter granule across unrelated pages.
+
+The ``ablation-paging`` experiment measures how much of COSMOS's benefit
+survives each regime.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List
+
+from .access import MemoryAccess
+
+#: Page size used by the mappers (4KB, the x86 base page).
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+class PageMapper:
+    """Interface: translate byte addresses at page granularity."""
+
+    name = "identity"
+
+    def translate(self, address: int) -> int:
+        """Physical address for virtual ``address``."""
+        return address
+
+
+class IdentityPageMapper(PageMapper):
+    """Physical memory mirrors the virtual layout (contiguous)."""
+
+
+class FirstTouchPageMapper(PageMapper):
+    """Densely pack pages into frames in first-touch order.
+
+    The first page touched gets frame 0, the second frame 1, and so on —
+    different virtual structures interleave physically in access order.
+    """
+
+    name = "first_touch"
+
+    def __init__(self, base_frame: int = 0) -> None:
+        self._frames: Dict[int, int] = {}
+        self._next = base_frame
+
+    def translate(self, address: int) -> int:
+        vpn = address >> PAGE_SHIFT
+        frame = self._frames.get(vpn)
+        if frame is None:
+            frame = self._next
+            self._next += 1
+            self._frames[vpn] = frame
+        return (frame << PAGE_SHIFT) | (address & (PAGE_SIZE - 1))
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of pages allocated so far."""
+        return len(self._frames)
+
+
+class RandomizedPageMapper(PageMapper):
+    """Assign pseudo-random, collision-free frames on first touch."""
+
+    name = "randomized"
+
+    def __init__(self, seed: int = 0, frame_space: int = 1 << 20) -> None:
+        if frame_space <= 0:
+            raise ValueError("frame_space must be positive")
+        self._rng = random.Random(seed)
+        self._frames: Dict[int, int] = {}
+        self._used: set = set()
+        self.frame_space = frame_space
+
+    def translate(self, address: int) -> int:
+        vpn = address >> PAGE_SHIFT
+        frame = self._frames.get(vpn)
+        if frame is None:
+            if len(self._used) >= self.frame_space:
+                raise RuntimeError("randomized mapper ran out of frames")
+            while True:
+                frame = self._rng.randrange(self.frame_space)
+                if frame not in self._used:
+                    break
+            self._used.add(frame)
+            self._frames[vpn] = frame
+        return (frame << PAGE_SHIFT) | (address & (PAGE_SIZE - 1))
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of pages allocated so far."""
+        return len(self._frames)
+
+
+def remap_accesses(
+    accesses: Iterable[MemoryAccess], mapper: PageMapper
+) -> List[MemoryAccess]:
+    """Translate every access of a trace through ``mapper``.
+
+    The mapping is deterministic per mapper instance, so two designs fed
+    the remapped trace see identical physical streams.
+    """
+    return [
+        MemoryAccess(mapper.translate(access.address), access.type, access.core)
+        for access in accesses
+    ]

@@ -1,0 +1,119 @@
+"""Counter (CTR) cache in the memory controller.
+
+Maps a data block to its counter line (via the counter scheme + layout) and
+caches counter lines on-chip.  The replacement policy is pluggable: LRU for
+the MorphCtr baseline (paper Table 3) and COSMOS's locality-centric LCR
+policy for the LCR-CTR cache (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mem.cache import Cache
+from ..mem.replacement import ReplacementPolicy
+from .counters import CounterScheme
+from .layout import SecureLayout
+
+
+@dataclass
+class CtrCacheStats:
+    """CTR-cache accounting, including locality tagging for COSMOS."""
+
+    hits: int = 0
+    misses: int = 0
+    good_locality_tags: int = 0
+    bad_locality_tags: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total CTR-cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """CTR-cache miss rate in [0, 1]."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def good_locality_fraction(self) -> float:
+        """Fraction of accesses tagged good-locality (paper Fig. 13)."""
+        tagged = self.good_locality_tags + self.bad_locality_tags
+        if tagged == 0:
+            return 0.0
+        return self.good_locality_tags / tagged
+
+
+class CtrCache:
+    """On-chip cache of counter lines.
+
+    Args:
+        layout: Address-space map (counter line -> DRAM block address).
+        scheme: Counter organisation (data block -> counter line).
+        size_bytes: Capacity (baseline 512KB, LCR-CTR 128KB; Table 3).
+        assoc: Ways per set.
+        policy: Replacement policy; None selects the cache's default LRU.
+    """
+
+    def __init__(
+        self,
+        layout: SecureLayout,
+        scheme: CounterScheme,
+        size_bytes: int = 512 * 1024,
+        assoc: int = 16,
+        policy: Optional[ReplacementPolicy] = None,
+        name: str = "ctr_cache",
+    ) -> None:
+        self.layout = layout
+        self.scheme = scheme
+        self.cache = Cache(size_bytes, assoc, policy=policy, name=name)
+        self.stats = CtrCacheStats()
+
+    def ctr_block_address(self, data_block: int) -> int:
+        """DRAM block address of the counter line covering ``data_block``."""
+        return self.layout.ctr_block_address(self.scheme.ctr_index(data_block))
+
+    def access(
+        self,
+        data_block: int,
+        is_write: bool = False,
+        locality_flag: Optional[int] = None,
+        locality_score: Optional[int] = None,
+    ) -> bool:
+        """Look up the counter line for ``data_block``; True on hit.
+
+        On a miss the line is filled (the caller charges the DRAM fetch and
+        MT traversal).  When COSMOS supplies a locality prediction, the
+        resident line is tagged with the 1-bit flag and 8-bit score that the
+        LCR replacement policy consumes (paper Sec. 4.3).
+        """
+        ctr_address = self.ctr_block_address(data_block)
+        hit = self.cache.access(ctr_address, is_write)
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self.cache.fill(ctr_address, dirty=is_write)
+        if locality_flag is not None:
+            line = self.cache.get_line(ctr_address)
+            if line is not None:
+                line.locality_flag = locality_flag
+                if locality_score is not None:
+                    line.locality_score = locality_score
+            if locality_flag:
+                self.stats.good_locality_tags += 1
+            else:
+                self.stats.bad_locality_tags += 1
+        return hit
+
+    def contains(self, data_block: int) -> bool:
+        """Non-destructive residency probe for the covering counter line."""
+        return self.cache.lookup(self.ctr_block_address(data_block))
+
+    @property
+    def miss_rate(self) -> float:
+        """Shortcut for ``stats.miss_rate``."""
+        return self.stats.miss_rate

@@ -1,0 +1,224 @@
+"""Merkle (integrity) tree over the counter region.
+
+Two cooperating models are provided:
+
+* :class:`MerkleTree` — a *functional* sparse hash tree.  Leaves are counter
+  lines; each internal node hashes its children; the root is held on-chip.
+  It supports updates, per-leaf verification, and detects any tampering
+  with leaves or internal nodes.  This is the piece the paper relies on for
+  replay protection (Sec. 2.1) and it is exercised directly by the test
+  suite (including property-based tamper tests).
+
+* :class:`IntegrityTreeModel` — the *traffic/timing* model used by the
+  simulator.  Every counter line fetched from DRAM must be authenticated by
+  walking its MT path leaf-to-root; the walk stops early at the first MT
+  node found in the on-chip MT-node cache (a verified node vouches for the
+  subtree below it).  Each node fetched from DRAM is one 64B read — these
+  reads are what dominates secure-memory traffic in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..mem.cache import Cache
+from .layout import SecureLayout
+
+
+def _hash_children(children: List[bytes]) -> bytes:
+    """Hash the concatenation of child digests into a parent digest."""
+    return hashlib.sha256(b"".join(children)).digest()
+
+
+class MerkleTree:
+    """Sparse functional Merkle tree over counter lines.
+
+    Args:
+        num_leaves: Number of counter lines protected by the tree.
+        arity: Children per internal node.
+
+    Unwritten leaves hold a well-known default value, so the tree starts
+    with a deterministic root and only touched paths are materialised.
+    """
+
+    def __init__(self, num_leaves: int, arity: int = 2) -> None:
+        if num_leaves <= 0:
+            raise ValueError("num_leaves must be positive")
+        if arity < 2:
+            raise ValueError("arity must be >= 2")
+        self.num_leaves = num_leaves
+        self.arity = arity
+        self._leaves: Dict[int, bytes] = {}
+        # _nodes[level][index]; level 0 = parents of leaves.
+        self._nodes: List[Dict[int, bytes]] = []
+        self._level_sizes: List[int] = []
+        size = num_leaves
+        while size > 1:
+            size = -(-size // arity)
+            self._level_sizes.append(size)
+            self._nodes.append({})
+        if not self._level_sizes:
+            self._level_sizes.append(1)
+            self._nodes.append({})
+        # Default digests per level for untouched subtrees.
+        self._default_leaf = hashlib.sha256(b"cosmos-default-leaf").digest()
+        self._defaults: List[bytes] = []
+        current = self._default_leaf
+        for _ in self._level_sizes:
+            current = _hash_children([current] * arity)
+            self._defaults.append(current)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of internal levels (root inclusive)."""
+        return len(self._level_sizes)
+
+    def leaf_digest(self, leaf_index: int) -> bytes:
+        """Digest of leaf ``leaf_index`` (default if never written)."""
+        self._check_leaf(leaf_index)
+        return self._leaves.get(leaf_index, self._default_leaf)
+
+    def node_digest(self, level: int, index: int) -> bytes:
+        """Digest of the internal node at (level, index)."""
+        return self._nodes[level].get(index, self._defaults[level])
+
+    @property
+    def root(self) -> bytes:
+        """Current root digest (held on-chip in a real system)."""
+        return self.node_digest(self.levels - 1, 0)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update_leaf(self, leaf_index: int, payload: bytes) -> bytes:
+        """Write a leaf and re-hash its path to the root; returns new root."""
+        self._check_leaf(leaf_index)
+        self._leaves[leaf_index] = hashlib.sha256(payload).digest()
+        index = leaf_index
+        for level in range(self.levels):
+            index //= self.arity
+            children = self._children_digests(level, index)
+            self._nodes[level][index] = _hash_children(children)
+        return self.root
+
+    def _children_digests(self, level: int, index: int) -> List[bytes]:
+        children: List[bytes] = []
+        for child_offset in range(self.arity):
+            child_index = index * self.arity + child_offset
+            if level == 0:
+                if child_index < self.num_leaves:
+                    children.append(self._leaves.get(child_index, self._default_leaf))
+                else:
+                    children.append(self._default_leaf)
+            else:
+                child_level = level - 1
+                if child_index < self._level_sizes[child_level]:
+                    children.append(self.node_digest(child_level, child_index))
+                else:
+                    children.append(self._defaults[child_level])
+        return children
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify_leaf(self, leaf_index: int, payload: bytes) -> bool:
+        """Authenticate ``payload`` as the content of ``leaf_index``.
+
+        Recomputes the path from the leaf to the root against the stored
+        sibling digests and compares with the on-chip root; any tampering
+        along the way makes this return False.
+        """
+        self._check_leaf(leaf_index)
+        current = hashlib.sha256(payload).digest()
+        if current != self.leaf_digest(leaf_index):
+            return False
+        index = leaf_index
+        for level in range(self.levels):
+            index //= self.arity
+            recomputed = _hash_children(self._children_digests(level, index))
+            if recomputed != self.node_digest(level, index):
+                return False
+        return True
+
+    def tamper_node(self, level: int, index: int, digest: bytes) -> None:
+        """Overwrite an internal node (attack simulation for tests)."""
+        self._nodes[level][index] = digest
+
+    def tamper_leaf(self, leaf_index: int, digest: bytes) -> None:
+        """Overwrite a leaf digest without re-hashing (attack simulation)."""
+        self._check_leaf(leaf_index)
+        self._leaves[leaf_index] = digest
+
+    def _check_leaf(self, leaf_index: int) -> None:
+        if not 0 <= leaf_index < self.num_leaves:
+            raise ValueError(f"leaf {leaf_index} out of range [0, {self.num_leaves})")
+
+
+@dataclass
+class IntegrityTreeStats:
+    """Traffic accounting for MT traversals."""
+
+    traversals: int = 0
+    nodes_fetched: int = 0
+    cache_hits: int = 0
+    root_reached: int = 0
+
+    @property
+    def average_fetches(self) -> float:
+        """Mean MT-node DRAM reads per traversal."""
+        if self.traversals == 0:
+            return 0.0
+        return self.nodes_fetched / self.traversals
+
+
+class IntegrityTreeModel:
+    """Traffic/timing model of the MT traversal on CTR DRAM fetches.
+
+    Args:
+        layout: Address-space map supplying the per-counter MT paths.
+        cache_size_bytes: Capacity of the on-chip MT-node cache; 0 disables
+            caching (every traversal walks to the root).
+        cache_assoc: Associativity of the MT-node cache.
+    """
+
+    def __init__(
+        self,
+        layout: SecureLayout,
+        cache_size_bytes: int = 128 * 1024,
+        cache_assoc: int = 8,
+    ) -> None:
+        self.layout = layout
+        self.stats = IntegrityTreeStats()
+        self.node_cache: Optional[Cache] = None
+        if cache_size_bytes > 0:
+            self.node_cache = Cache(cache_size_bytes, cache_assoc, name="mt_cache")
+
+    def traverse(self, ctr_index: int) -> Tuple[int, List[int]]:
+        """Authenticate a counter line fetched from DRAM.
+
+        Walks the MT path leaf-parent to root, fetching nodes from DRAM
+        until one hits in the MT-node cache (that node was already verified
+        against the root, so the walk can stop).  Fetched nodes are
+        installed in the cache.
+
+        Returns:
+            Tuple of (nodes fetched from DRAM, their block addresses).
+        """
+        self.stats.traversals += 1
+        fetched: List[int] = []
+        for node_address in self.layout.mt_path(ctr_index):
+            if self.node_cache is not None and self.node_cache.access(node_address):
+                self.stats.cache_hits += 1
+                break
+            fetched.append(node_address)
+            if self.node_cache is not None:
+                self.node_cache.fill(node_address)
+        else:
+            self.stats.root_reached += 1
+        self.stats.nodes_fetched += len(fetched)
+        return len(fetched), fetched

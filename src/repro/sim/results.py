@@ -1,0 +1,123 @@
+"""Simulation results: per-run metrics and cross-design comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..mem.stats import TrafficStats
+from .smat import SmatInputs, smat, smat_unprotected
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured from running one trace through one design.
+
+    Attributes:
+        design: Design name (``np``, ``morphctr``, ``cosmos``...).
+        workload: Workload name the trace came from.
+        accesses: Trace records simulated.
+        instructions: Instructions represented (memory + non-memory).
+        cycles: Total cycles of the IPC proxy model.
+        total_latency: Sum of per-access latencies (cycles, no overlap).
+        l1_miss_rate / l2_miss_rate / llc_miss_rate: Hierarchy miss rates.
+        ctr_miss_rate: CTR-cache miss rate (0 for NP).
+        traffic: DRAM traffic breakdown.
+        extra: Design-specific metrics (prediction accuracy, bypasses...).
+    """
+
+    design: str
+    workload: str
+    accesses: int
+    instructions: int
+    cycles: float
+    total_latency: int
+    l1_miss_rate: float
+    l2_miss_rate: float
+    llc_miss_rate: float
+    ctr_miss_rate: float
+    traffic: TrafficStats
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle of the proxy CPU model."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def average_latency(self) -> float:
+        """Mean unoverlapped latency per access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.total_latency / self.accesses
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Relative performance vs ``baseline`` (cycles ratio)."""
+        if self.cycles <= 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def normalized_to(self, reference: "SimulationResult") -> float:
+        """Performance normalised to ``reference`` (typically NP).
+
+        1.0 means parity with the reference; the paper's Figs. 10/15/16/17
+        plot exactly this quantity.
+        """
+        return self.speedup_over(reference)
+
+    def smat_inputs(
+        self,
+        l1_latency: float,
+        l2_latency: float,
+        llc_latency: float,
+        dram_latency: float,
+        ctr_hit_latency: float,
+        ctr_dram_latency: float,
+        ctr_verify_latency: float,
+    ) -> SmatInputs:
+        """Bundle measured miss rates with supplied latencies for Eq. 1-2."""
+        return SmatInputs(
+            l1_latency=l1_latency,
+            l2_latency=l2_latency,
+            llc_latency=llc_latency,
+            dram_latency=dram_latency,
+            ctr_hit_latency=ctr_hit_latency,
+            ctr_dram_latency=ctr_dram_latency,
+            ctr_verify_latency=ctr_verify_latency,
+            mr_l1=self.l1_miss_rate,
+            mr_l2=self.l2_miss_rate,
+            mr_llc=self.llc_miss_rate,
+            mr_ctr=self.ctr_miss_rate,
+        )
+
+    def smat(self, inputs: Optional[SmatInputs] = None, **latencies) -> float:
+        """Compute SMAT from this run's miss rates.
+
+        Either pass a ready :class:`SmatInputs` or the latency keyword
+        arguments accepted by :meth:`smat_inputs`.
+        """
+        if inputs is None:
+            inputs = self.smat_inputs(**latencies)
+        if self.design == "np" or self.ctr_miss_rate == 0.0 and self.traffic.ctr_reads == 0:
+            return smat_unprotected(inputs)
+        return smat(inputs)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary for report tables."""
+        data = {
+            "design": self.design,
+            "workload": self.workload,
+            "accesses": self.accesses,
+            "ipc": round(self.ipc, 4),
+            "avg_latency": round(self.average_latency, 2),
+            "l1_miss_rate": round(self.l1_miss_rate, 4),
+            "l2_miss_rate": round(self.l2_miss_rate, 4),
+            "llc_miss_rate": round(self.llc_miss_rate, 4),
+            "ctr_miss_rate": round(self.ctr_miss_rate, 4),
+            "dram_requests": self.traffic.total,
+            "mt_reads": self.traffic.mt_reads,
+        }
+        data.update({key: round(value, 4) for key, value in self.extra.items()})
+        return data

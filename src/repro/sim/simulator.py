@@ -1,0 +1,178 @@
+"""Trace-driven simulator: runs a workload trace through a secure design.
+
+This is the reproduction's stand-in for Gem5 SE mode (DESIGN.md,
+substitution 1): accesses flow through the design's cache hierarchy and
+secure-memory engine, per-access latencies are accumulated, and an IPC
+proxy is derived with a fixed memory-level-parallelism overlap factor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..mem.access import MemoryAccess
+from ..secure.counters import make_counter_scheme
+from ..secure.designs import CosmosDesign, SecureDesign, make_design
+from ..secure.layout import SecureLayout
+from .config import SimulationConfig
+from .results import SimulationResult
+
+
+def build_layout(config: SimulationConfig) -> SecureLayout:
+    """Layout matching the configured memory size and counter scheme."""
+    scheme = make_counter_scheme(config.counter_scheme)
+    return SecureLayout.for_memory_size(config.memory_bytes, scheme.blocks_per_ctr)
+
+
+def build_design(name: str, config: SimulationConfig) -> SecureDesign:
+    """Instantiate design ``name`` under ``config``."""
+    layout = build_layout(config)
+    kwargs: Dict[str, object] = {
+        "hierarchy_config": config.hierarchy,
+        "layout": layout,
+    }
+    if name != "np":
+        kwargs["engine_config"] = config.engine
+        kwargs["counter_scheme"] = config.counter_scheme
+    if name.startswith("cosmos"):
+        kwargs["cosmos_config"] = config.cosmos
+    return make_design(name, **kwargs)
+
+
+class Simulator:
+    """Drives one design through a trace and produces a result record."""
+
+    def __init__(
+        self,
+        design: SecureDesign,
+        config: Optional[SimulationConfig] = None,
+        workload: str = "trace",
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else SimulationConfig()
+        self.workload = workload
+        self.total_latency = 0
+        self.accesses = 0
+
+    def run(
+        self,
+        trace: Iterable[MemoryAccess],
+        progress_hook: Optional[Callable[[int, "Simulator"], None]] = None,
+        progress_interval: int = 100_000,
+        warmup_accesses: int = 0,
+    ) -> SimulationResult:
+        """Simulate every access in ``trace`` and return the result.
+
+        Args:
+            trace: Iterable of accesses (a list or a generator).
+            progress_hook: Optional callback ``(accesses_done, simulator)``
+                invoked every ``progress_interval`` accesses — used by the
+                convergence experiments (paper Fig. 8) to snapshot metrics
+                mid-run.
+            progress_interval: Callback period in accesses.
+            warmup_accesses: Accesses to process before the measurement
+                window: caches fill and predictors train during warmup,
+                but every statistic is reset afterwards.
+        """
+        design = self.design
+        iterator = iter(trace)
+        if warmup_accesses > 0:
+            for _, access in zip(range(warmup_accesses), iterator):
+                design.process(access)
+            design.reset_stats()
+            self.total_latency = 0
+            self.accesses = 0
+        for access in iterator:
+            self.total_latency += design.process(access)
+            self.accesses += 1
+            if progress_hook is not None and self.accesses % progress_interval == 0:
+                progress_hook(self.accesses, self)
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def cycles(self) -> float:
+        """IPC-proxy cycle count.
+
+        Three components: instruction issue, memory stalls (overlapped by
+        the MLP factor), and DRAM channel serialisation proportional to the
+        total request count — secure-memory metadata traffic (CTR, MT, MAC,
+        re-encryption) competes with data for the same channel.
+        """
+        cpu = self.config.cpu
+        issue_cycles = self.accesses * (1 + cpu.nonmem_instructions_per_access)
+        stall_cycles = self.total_latency / cpu.mlp_factor
+        bandwidth_cycles = (
+            self.design.traffic().total * cpu.dram_bandwidth_cycles_per_request
+        )
+        return issue_cycles + stall_cycles + bandwidth_cycles
+
+    def instructions(self) -> int:
+        """Instructions represented by the trace under the CPU model."""
+        return self.accesses * (1 + self.config.cpu.nonmem_instructions_per_access)
+
+    def result(self) -> SimulationResult:
+        """Snapshot the current metrics into a :class:`SimulationResult`."""
+        design = self.design
+        extra: Dict[str, float] = {
+            "bypass_fraction": design.stats.bypass_fraction,
+        }
+        if isinstance(design, CosmosDesign):
+            controller = design.controller
+            if controller.location is not None:
+                stats = controller.location.stats
+                extra["prediction_accuracy"] = stats.accuracy
+                extra["off_chip_misprediction_rate"] = stats.off_chip_misprediction_rate
+                extra.update(
+                    {
+                        f"pred_{key}": value
+                        for key, value in stats.distribution().items()
+                    }
+                )
+            if controller.locality is not None:
+                extra["good_locality_fraction"] = controller.locality.stats.good_fraction
+        return SimulationResult(
+            design=design.name,
+            workload=self.workload,
+            accesses=self.accesses,
+            instructions=self.instructions(),
+            cycles=self.cycles(),
+            total_latency=self.total_latency,
+            l1_miss_rate=design.hierarchy.l1_miss_rate(),
+            l2_miss_rate=design.hierarchy.l2_miss_rate(),
+            llc_miss_rate=design.hierarchy.llc_miss_rate(),
+            ctr_miss_rate=design.ctr_miss_rate(),
+            traffic=design.traffic(),
+            extra=extra,
+        )
+
+
+def simulate(
+    design_name: str,
+    trace: Iterable[MemoryAccess],
+    config: Optional[SimulationConfig] = None,
+    workload: str = "trace",
+) -> SimulationResult:
+    """One-call convenience: build the design, run the trace, return results."""
+    config = config if config is not None else SimulationConfig()
+    design = build_design(design_name, config)
+    simulator = Simulator(design, config, workload)
+    return simulator.run(trace)
+
+
+def simulate_designs(
+    design_names: List[str],
+    trace_factory: Callable[[], Iterable[MemoryAccess]],
+    config: Optional[SimulationConfig] = None,
+    workload: str = "trace",
+) -> Dict[str, SimulationResult]:
+    """Run the *same* trace through several designs.
+
+    ``trace_factory`` is called once per design so generators are not
+    shared across runs.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for name in design_names:
+        results[name] = simulate(name, trace_factory(), config, workload)
+    return results

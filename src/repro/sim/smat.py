@@ -1,0 +1,59 @@
+"""Secure Memory Access Time (SMAT) — paper Sec. 6.1.3, Eqs. 1-2.
+
+SMAT folds the per-level latencies and measured miss rates into one
+average-latency-per-access figure:
+
+    SMAT = L1 + MR_L1 * (L2 + MR_L2 * (LLC + MR_LLC * (CTR + DRAM)))
+    CTR  = CTR_hit + MR_CTR * (CTR_DRAM + CTR_verify)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SmatInputs:
+    """Everything Eq. 1-2 needs: latencies (cycles) and miss rates [0,1]."""
+
+    l1_latency: float
+    l2_latency: float
+    llc_latency: float
+    dram_latency: float
+    ctr_hit_latency: float
+    ctr_dram_latency: float
+    ctr_verify_latency: float
+    mr_l1: float
+    mr_l2: float
+    mr_llc: float
+    mr_ctr: float
+
+    def __post_init__(self) -> None:
+        for name in ("mr_l1", "mr_l2", "mr_llc", "mr_ctr"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def ctr_term(inputs: SmatInputs) -> float:
+    """Equation 2: average CTR-access cost."""
+    return inputs.ctr_hit_latency + inputs.mr_ctr * (
+        inputs.ctr_dram_latency + inputs.ctr_verify_latency
+    )
+
+
+def smat(inputs: SmatInputs) -> float:
+    """Equation 1: average secure-memory access time in cycles."""
+    memory_cost = ctr_term(inputs) + inputs.dram_latency
+    return inputs.l1_latency + inputs.mr_l1 * (
+        inputs.l2_latency
+        + inputs.mr_l2 * (inputs.llc_latency + inputs.mr_llc * memory_cost)
+    )
+
+
+def smat_unprotected(inputs: SmatInputs) -> float:
+    """Eq. 1 with the CTR term removed (the non-protected reference)."""
+    return inputs.l1_latency + inputs.mr_l1 * (
+        inputs.l2_latency
+        + inputs.mr_l2 * (inputs.llc_latency + inputs.mr_llc * inputs.dram_latency)
+    )

@@ -1,0 +1,66 @@
+"""Workload generators: graph kernels, SPEC-like, ML inference traces."""
+
+from .graph import (
+    CsrGraph,
+    GraphMemoryLayout,
+    degree_skew,
+    github_like_graph,
+    preferential_attachment_graph,
+)
+from .db import DB_WORKLOADS, generate_db_trace
+from .analysis import (
+    TraceCharacterization,
+    characterize,
+    ctr_line_popularity,
+    reuse_profile,
+    working_set_curve,
+)
+from .graph_algos import GRAPH_WORKLOADS, available_kernels, generate_graph_trace
+from .ml import ML_WORKLOADS, Layer, generate_ml_trace, model_layers
+from .micro import (
+    phased_trace,
+    pointer_chase_trace,
+    stream_trace,
+    strided_trace,
+    uniform_random_trace,
+    zipf_trace,
+)
+from .serialization import load_trace, save_trace
+from .spec import SPEC_WORKLOADS, generate_spec_trace
+from .trace import Allocator, Trace, interleave, multiprogram
+
+__all__ = [
+    "Allocator",
+    "TraceCharacterization",
+    "characterize",
+    "ctr_line_popularity",
+    "load_trace",
+    "multiprogram",
+    "phased_trace",
+    "pointer_chase_trace",
+    "reuse_profile",
+    "save_trace",
+    "stream_trace",
+    "strided_trace",
+    "uniform_random_trace",
+    "working_set_curve",
+    "zipf_trace",
+    "CsrGraph",
+    "DB_WORKLOADS",
+    "GRAPH_WORKLOADS",
+    "GraphMemoryLayout",
+    "Layer",
+    "ML_WORKLOADS",
+    "SPEC_WORKLOADS",
+    "Trace",
+    "available_kernels",
+    "degree_skew",
+    "generate_db_trace",
+    "generate_graph_trace",
+    "generate_ml_trace",
+    "generate_spec_trace",
+    "github_like_graph",
+    "interleave",
+    "model_layers",
+    "preferential_attachment_graph",
+]

@@ -1,0 +1,196 @@
+"""Trace analysis: the measurements behind the paper's Section 3 claims.
+
+The motivation section rests on properties of the access streams — high
+reuse distances, low spatial locality, skewed block popularity.  This
+module computes those properties directly from a trace, so the workload
+generators can be validated against the regimes they are supposed to model
+(and so users can characterise their own traces before simulating them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mem.access import MemoryAccess
+
+
+@dataclass
+class ReuseProfile:
+    """Reuse-distance statistics of a block-address stream.
+
+    The reuse distance of an access is the number of *distinct* blocks
+    touched since the previous access to the same block (the stack
+    distance); an LRU cache of capacity C hits exactly the accesses with
+    distance < C.
+    """
+
+    distances: List[int] = field(default_factory=list)
+    cold_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses profiled."""
+        return len(self.distances) + self.cold_misses
+
+    def hit_rate_at(self, capacity_blocks: int) -> float:
+        """LRU hit rate of a cache holding ``capacity_blocks`` lines."""
+        if self.accesses == 0:
+            return 0.0
+        hits = sum(1 for distance in self.distances if distance < capacity_blocks)
+        return hits / self.accesses
+
+    def miss_ratio_curve(self, capacities: Sequence[int]) -> List[Tuple[int, float]]:
+        """(capacity, miss rate) points — the classic MRC."""
+        return [(capacity, 1.0 - self.hit_rate_at(capacity)) for capacity in capacities]
+
+    def median_distance(self) -> Optional[int]:
+        """Median finite reuse distance (None when nothing re-referenced)."""
+        if not self.distances:
+            return None
+        ordered = sorted(self.distances)
+        return ordered[len(ordered) // 2]
+
+
+def reuse_profile(
+    accesses: Iterable[MemoryAccess],
+    granularity_shift: int = 0,
+    max_tracked: int = 1 << 20,
+) -> ReuseProfile:
+    """Compute the stack-distance profile of a trace.
+
+    Args:
+        accesses: The trace (any iterable of :class:`MemoryAccess`).
+        granularity_shift: Extra right-shift applied to block addresses —
+            pass 7 to profile at MorphCtr counter-line granularity
+            (128 blocks), 0 for plain 64B lines.
+        max_tracked: Safety cap on tracked distinct blocks.
+
+    Uses the O(N log N) tree-over-timestamps algorithm (a Fenwick tree over
+    last-access times).
+    """
+    materialised = list(accesses)
+    profile = ReuseProfile()
+    last_seen: Dict[int, int] = {}
+    # Fenwick tree over access timestamps: a 1 at time i means the block
+    # last touched at time i has not been touched since.  Sized up front —
+    # Fenwick trees cannot be grown in place.
+    size = max(len(materialised), 1)
+    tree: List[int] = [0] * (size + 1)
+
+    def _add(index: int, delta: int) -> None:
+        index += 1
+        while index <= size:
+            tree[index] += delta
+            index += index & (-index)
+
+    def _prefix(index: int) -> int:
+        """Sum of tree[0..index] inclusive."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += tree[index]
+            index -= index & (-index)
+        return total
+
+    for time, access in enumerate(materialised):
+        block = access.block_address >> granularity_shift
+        previous = last_seen.get(block)
+        if previous is None:
+            profile.cold_misses += 1
+            if len(last_seen) >= max_tracked:
+                last_seen.pop(next(iter(last_seen)))
+        else:
+            # Active stamps strictly between previous and now = distinct
+            # other blocks touched since the previous access.
+            distance = _prefix(time - 1) - _prefix(previous)
+            profile.distances.append(distance)
+            _add(previous, -1)
+        _add(time, 1)
+        last_seen[block] = time
+    return profile
+
+
+@dataclass(frozen=True)
+class TraceCharacterization:
+    """Summary statistics the paper's Section 3 reasons about."""
+
+    accesses: int
+    distinct_blocks: int
+    write_fraction: float
+    sequential_fraction: float
+    top1pct_block_share: float
+    entropy_bits: float
+
+    @property
+    def is_irregular(self) -> bool:
+        """Heuristic irregularity check used by workload tests.
+
+        A stream counts as irregular when spatial sequentiality is low and
+        its block popularity is not totally flat (some skew) — the regime
+        the paper's graph workloads live in.
+        """
+        return self.sequential_fraction < 0.5 and self.distinct_blocks > 64
+
+
+def characterize(accesses: Sequence[MemoryAccess]) -> TraceCharacterization:
+    """Compute the summary characterisation of a trace."""
+    counts: Dict[int, int] = {}
+    writes = 0
+    sequential = 0
+    previous_block: Optional[int] = None
+    for access in accesses:
+        block = access.block_address
+        counts[block] = counts.get(block, 0) + 1
+        if access.is_write:
+            writes += 1
+        if previous_block is not None and abs(block - previous_block) <= 1:
+            sequential += 1
+        previous_block = block
+    total = len(accesses)
+    if total == 0:
+        return TraceCharacterization(0, 0, 0.0, 0.0, 0.0, 0.0)
+    popularity = sorted(counts.values(), reverse=True)
+    top = max(1, len(popularity) // 100)
+    top_share = sum(popularity[:top]) / total
+    entropy = 0.0
+    for count in popularity:
+        p = count / total
+        entropy -= p * math.log2(p)
+    return TraceCharacterization(
+        accesses=total,
+        distinct_blocks=len(counts),
+        write_fraction=writes / total,
+        sequential_fraction=sequential / max(total - 1, 1),
+        top1pct_block_share=top_share,
+        entropy_bits=entropy,
+    )
+
+
+def working_set_curve(
+    accesses: Sequence[MemoryAccess], window: int = 10_000
+) -> List[Tuple[int, int]]:
+    """Distinct blocks per window of the trace: (window end, distinct)."""
+    curve: List[Tuple[int, int]] = []
+    seen: set = set()
+    for index, access in enumerate(accesses, start=1):
+        seen.add(access.block_address)
+        if index % window == 0:
+            curve.append((index, len(seen)))
+            seen = set()
+    if seen:
+        curve.append((len(accesses), len(seen)))
+    return curve
+
+
+def ctr_line_popularity(
+    accesses: Sequence[MemoryAccess], blocks_per_ctr: int = 128
+) -> Dict[int, int]:
+    """Access count per counter line — the heat map COSMOS's locality
+    predictor implicitly learns."""
+    counts: Dict[int, int] = {}
+    for access in accesses:
+        line = access.block_address // blocks_per_ctr
+        counts[line] = counts.get(line, 0) + 1
+    return counts

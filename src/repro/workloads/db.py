@@ -1,0 +1,167 @@
+"""Database-style workloads: beyond the paper's three suites.
+
+The paper evaluates graph, SPEC and ML workloads; databases are the other
+large class of irregular, secure-memory-relevant applications (cloud
+tenants running analytics on confidential data).  Three classic kernels
+are modelled, each really executing its algorithm while emitting the
+addresses it touches:
+
+* :func:`hash_join_trace` — build a hash table over one relation, probe
+  with the other (random bucket probes + sequential scans);
+* :func:`btree_lookup_trace` — point lookups descending a B+-tree
+  (pointer-chasing with a hot top and cold leaves);
+* :func:`ycsb_trace` — a YCSB-like key-value mix: Zipf-popular records,
+  configurable get/put ratio.
+
+These drive the ``generality`` experiment: COSMOS was tuned on graph DFS;
+does its benefit carry to a domain it never saw?
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Tuple
+
+from ..mem.access import AccessType, MemoryAccess
+from .trace import Allocator, Trace, interleave
+
+AddressEvent = Tuple[int, bool]
+
+#: Workload names exposed to the harness.
+DB_WORKLOADS = ("hashjoin", "btree", "ycsb")
+
+
+def _hash_join_events(
+    allocator: Allocator, rng: random.Random, rows: int, core: int
+) -> Iterator[AddressEvent]:
+    """GRACE-style in-memory hash join (build + probe phases)."""
+    tuple_bytes = 32
+    bucket_bytes = 16
+    num_buckets = max(64, rows // 4)
+    build_base = allocator.alloc(f"hj:build[{core}]", rows * tuple_bytes)
+    probe_base = allocator.alloc(f"hj:probe[{core}]", 2 * rows * tuple_bytes)
+    table_base = allocator.alloc(f"hj:table[{core}]", num_buckets * bucket_bytes)
+    while True:
+        # Build: scan the build relation, insert into random buckets.
+        for row in range(rows):
+            yield build_base + row * tuple_bytes, False
+            bucket = rng.randrange(num_buckets)
+            yield table_base + bucket * bucket_bytes, False  # read chain head
+            yield table_base + bucket * bucket_bytes, True  # link the tuple
+        # Probe: scan the probe relation, chase the matching bucket.
+        for row in range(2 * rows):
+            yield probe_base + row * tuple_bytes, False
+            bucket = rng.randrange(num_buckets)
+            yield table_base + bucket * bucket_bytes, False
+            # Matching tuples are revisited in the build relation.
+            if rng.random() < 0.5:
+                match = rng.randrange(rows)
+                yield build_base + match * tuple_bytes, False
+
+
+def _btree_events(
+    allocator: Allocator, rng: random.Random, keys: int, core: int
+) -> Iterator[AddressEvent]:
+    """Point lookups over a B+-tree of 256-byte nodes (fanout 16)."""
+    node_bytes = 256
+    fanout = 16
+    # Level sizes from the leaves up.
+    levels: List[int] = []
+    count = max(1, keys // fanout)
+    while count > 1:
+        levels.append(count)
+        count = max(1, count // fanout)
+    levels.append(1)
+    levels.reverse()  # root first
+    bases = [
+        allocator.alloc(f"bt:level{depth}[{core}]", size * node_bytes)
+        for depth, size in enumerate(levels)
+    ]
+    value_base = allocator.alloc(f"bt:values[{core}]", keys * 64)
+    update_ratio = 0.1
+    while True:
+        key = rng.randrange(keys)
+        # Descend: the node index narrows by fanout each level.
+        for depth, size in enumerate(levels):
+            node = key * size // keys
+            base = bases[depth]
+            yield base + node * node_bytes, False
+            yield base + node * node_bytes + 64, False  # second cache line
+        write = rng.random() < update_ratio
+        yield value_base + key * 64, write
+
+
+def _ycsb_events(
+    allocator: Allocator, rng: random.Random, records: int, core: int
+) -> Iterator[AddressEvent]:
+    """YCSB-B-like key-value mix: Zipf keys, 95% reads / 5% updates."""
+    record_bytes = 128
+    index_bytes = 16
+    store_base = allocator.alloc(f"kv:store[{core}]", records * record_bytes)
+    index_base = allocator.alloc(f"kv:index[{core}]", records * index_bytes)
+    # Zipf-ish sampling via two-level pick: hot set + uniform tail.
+    hot = max(16, records // 100)
+    while True:
+        if rng.random() < 0.8:
+            key = rng.randrange(hot)  # 80% of ops on the hot 1%
+        else:
+            key = rng.randrange(records)
+        yield index_base + key * index_bytes, False
+        write = rng.random() < 0.05
+        for offset in range(0, record_bytes, 64):
+            yield store_base + key * record_bytes + offset, write
+
+
+_GENERATORS = {
+    "hashjoin": (_hash_join_events, 40_000),
+    "btree": (_btree_events, 200_000),
+    "ycsb": (_ycsb_events, 150_000),
+}
+
+
+def generate_db_trace(
+    workload: str,
+    num_cores: int = 4,
+    max_accesses: int = 200_000,
+    seed: int = 31,
+    working_set: int = None,
+) -> Trace:
+    """Synthesise a database-kernel trace.
+
+    Args:
+        workload: ``hashjoin``, ``btree`` or ``ycsb``.
+        num_cores: Worker threads, each with a private partition.
+        max_accesses: Total trace length.
+        seed: RNG seed.
+        working_set: Rows / keys / records per core (defaults per kernel).
+    """
+    try:
+        generator, default_elements = _GENERATORS[workload]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise ValueError(f"unknown DB workload {workload!r}; expected one of: {known}")
+    elements = working_set if working_set is not None else default_elements
+    allocator = Allocator()
+    per_core = max(1, max_accesses // num_cores)
+    streams: List[List[MemoryAccess]] = []
+    for core in range(num_cores):
+        rng = random.Random(seed * 13 + core)
+        events = generator(allocator, rng, elements, core)
+        streams.append(
+            [
+                MemoryAccess(address, AccessType.WRITE if w else AccessType.READ, core)
+                for address, w in itertools.islice(events, per_core)
+            ]
+        )
+    return Trace(
+        name=workload,
+        accesses=interleave(streams),
+        metadata={
+            "workload": workload,
+            "num_cores": num_cores,
+            "elements_per_core": elements,
+            "seed": seed,
+            "footprint_bytes": allocator.footprint_bytes,
+        },
+    )

@@ -1,0 +1,174 @@
+"""Synthetic micro-workloads with controlled access statistics.
+
+Where the graph/SPEC/ML generators model real applications, these produce
+streams with *one* tunable property each — the controlled inputs used to
+unit-test predictors, replacement policies and the secure-memory engine:
+
+* :func:`stream_trace` — pure sequential streaming (best case for
+  prefetchers, worst case for caches beyond one pass);
+* :func:`strided_trace` — constant-stride accesses;
+* :func:`uniform_random_trace` — no locality at all;
+* :func:`zipf_trace` — skewed popularity (a knob over "how hot are the
+  hubs"), the distribution scale-free graph accesses approximate;
+* :func:`pointer_chase_trace` — dependent random chains (mcf-like);
+* :func:`phased_trace` — concatenated phases with different behaviours,
+  the stress test for online-learning adaptivity (paper Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..mem.access import AccessType, MemoryAccess
+from .trace import HEAP_BASE, Trace
+
+
+def _accesses(addresses, write_fraction: float, rng: random.Random, core: int = 0):
+    result = []
+    for address in addresses:
+        kind = AccessType.WRITE if rng.random() < write_fraction else AccessType.READ
+        result.append(MemoryAccess(address, kind, core))
+    return result
+
+
+def stream_trace(
+    n: int = 10_000,
+    start: int = HEAP_BASE,
+    write_fraction: float = 0.0,
+    seed: int = 0,
+) -> Trace:
+    """Sequential 64B-stride stream of ``n`` accesses."""
+    rng = random.Random(seed)
+    addresses = (start + 64 * index for index in range(n))
+    return Trace("stream", _accesses(addresses, write_fraction, rng),
+                 metadata={"kind": "stream", "n": n})
+
+
+def strided_trace(
+    n: int = 10_000,
+    stride_bytes: int = 256,
+    start: int = HEAP_BASE,
+    write_fraction: float = 0.0,
+    seed: int = 0,
+) -> Trace:
+    """Constant-stride stream (``stride_bytes`` apart)."""
+    if stride_bytes == 0:
+        raise ValueError("stride_bytes must be nonzero")
+    rng = random.Random(seed)
+    addresses = (start + stride_bytes * index for index in range(n))
+    return Trace("strided", _accesses(addresses, write_fraction, rng),
+                 metadata={"kind": "strided", "stride": stride_bytes})
+
+
+def uniform_random_trace(
+    n: int = 10_000,
+    footprint_blocks: int = 1 << 16,
+    start: int = HEAP_BASE,
+    write_fraction: float = 0.3,
+    seed: int = 0,
+) -> Trace:
+    """Uniformly random block accesses over a fixed footprint."""
+    if footprint_blocks <= 0:
+        raise ValueError("footprint_blocks must be positive")
+    rng = random.Random(seed)
+    addresses = (start + 64 * rng.randrange(footprint_blocks) for _ in range(n))
+    return Trace("uniform", _accesses(addresses, write_fraction, rng),
+                 metadata={"kind": "uniform", "footprint_blocks": footprint_blocks})
+
+
+def zipf_trace(
+    n: int = 10_000,
+    footprint_blocks: int = 1 << 16,
+    alpha: float = 1.0,
+    start: int = HEAP_BASE,
+    write_fraction: float = 0.3,
+    seed: int = 0,
+    shuffle_ranks: bool = True,
+) -> Trace:
+    """Zipf-distributed block popularity with exponent ``alpha``.
+
+    ``alpha=0`` degenerates to uniform; larger values concentrate accesses
+    on fewer blocks.  Ranks are scattered over the footprint by default so
+    popularity does not correlate with address (as in shuffled graphs).
+    """
+    if footprint_blocks <= 0:
+        raise ValueError("footprint_blocks must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    rng = random.Random(seed)
+    # Inverse-CDF sampling over a truncated harmonic distribution.
+    weights = [1.0 / ((rank + 1) ** alpha) for rank in range(min(footprint_blocks, 4096))]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running / total)
+    rank_to_block: Dict[int, int] = {}
+    block_pool = list(range(footprint_blocks))
+    if shuffle_ranks:
+        rng.shuffle(block_pool)
+
+    def sample_block() -> int:
+        u = rng.random()
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        rank = lo
+        block = rank_to_block.get(rank)
+        if block is None:
+            block = block_pool[rank % footprint_blocks]
+            rank_to_block[rank] = block
+        return block
+
+    addresses = (start + 64 * sample_block() for _ in range(n))
+    return Trace("zipf", _accesses(addresses, write_fraction, rng),
+                 metadata={"kind": "zipf", "alpha": alpha})
+
+
+def pointer_chase_trace(
+    n: int = 10_000,
+    chain_blocks: int = 1 << 14,
+    start: int = HEAP_BASE,
+    seed: int = 0,
+) -> Trace:
+    """Dependent loads along a random permutation cycle (mcf-like)."""
+    if chain_blocks <= 1:
+        raise ValueError("chain_blocks must be > 1")
+    rng = random.Random(seed)
+    successors = list(range(chain_blocks))
+    rng.shuffle(successors)
+    addresses: List[int] = []
+    current = 0
+    for _ in range(n):
+        addresses.append(start + 64 * current)
+        current = successors[current]
+    return Trace("pointer_chase", _accesses(addresses, 0.0, rng),
+                 metadata={"kind": "pointer_chase", "chain_blocks": chain_blocks})
+
+
+def phased_trace(
+    phases: Optional[Sequence[Callable[..., Trace]]] = None,
+    accesses_per_phase: int = 5_000,
+    seed: int = 0,
+) -> Trace:
+    """Concatenate heterogeneous phases into one trace.
+
+    The default alternates streaming -> uniform-random -> zipf, the kind
+    of phase change the paper argues RL adapts to and static heuristics do
+    not (Sec. 3.4).
+    """
+    if phases is None:
+        phases = (stream_trace, uniform_random_trace, zipf_trace)
+    accesses: List[MemoryAccess] = []
+    names: List[str] = []
+    for index, factory in enumerate(phases):
+        phase = factory(n=accesses_per_phase, seed=seed + index)
+        accesses.extend(phase.accesses)
+        names.append(phase.name)
+    return Trace("phased", accesses, metadata={"kind": "phased", "phases": names})

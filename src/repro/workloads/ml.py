@@ -1,0 +1,231 @@
+"""Machine-learning inference workloads with regular access patterns.
+
+The paper uses a 3-layer MLP for the generalisation study (Fig. 8) and six
+models — AlexNet, ResNet, VGG, BERT, Transformer, DLRM — for the
+regular-pattern evaluation (Fig. 17, Sec. 6.3).  We model inference as a
+layer-by-layer streaming trace (DESIGN.md): each layer reads its input
+activations and its weight slice sequentially and writes its output
+activations; batches repeat over the *same* activation buffers, which is
+exactly what makes re-encryption the bottleneck the paper reports (>50% of
+accesses hitting counters that are repeatedly incremented).
+
+Model geometries follow the papers' shapes (224x224x3 vision inputs,
+sequence length 128 with 768-d embeddings, DLRM with 13 dense features and
+categorical embeddings) but are dimensionally scaled so traces stay
+runnable; the access *pattern* (streaming + buffer reuse) is what matters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..mem.access import AccessType, MemoryAccess
+from .trace import Allocator, Trace, interleave
+
+AddressEvent = Tuple[int, bool]
+
+#: ML workload names used by Fig. 17 (paper order); Fig. 8 adds ``mlp``.
+ML_WORKLOADS = ("alexnet", "resnet", "vgg", "bert", "transformer", "dlrm")
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One inference layer: bytes moved per forward pass."""
+
+    name: str
+    weight_bytes: int
+    input_bytes: int
+    output_bytes: int
+
+
+def _scaled(value: int, scale: float) -> int:
+    return max(64, int(value * scale))
+
+
+def model_layers(model: str, scale: float = 0.02) -> List[Layer]:
+    """Layer list for ``model`` at footprint ``scale``.
+
+    The unscaled byte counts approximate the real models (fp32); ``scale``
+    shrinks them uniformly so a trace of a few hundred thousand accesses
+    covers several batches.
+    """
+    mb = 1024 * 1024
+    kb = 1024
+    shapes: Dict[str, List[Tuple[str, int, int, int]]] = {
+        "mlp": [
+            ("fc1", 4 * mb, 256 * kb, 256 * kb),
+            ("fc2", 4 * mb, 256 * kb, 256 * kb),
+            ("fc3", 1 * mb, 256 * kb, 64 * kb),
+        ],
+        "alexnet": [
+            ("conv1", 140 * kb, 600 * kb, 1130 * kb),
+            ("conv2", 1200 * kb, 280 * kb, 730 * kb),
+            ("conv3", 3540 * kb, 180 * kb, 250 * kb),
+            ("conv4", 2650 * kb, 250 * kb, 250 * kb),
+            ("conv5", 1770 * kb, 250 * kb, 170 * kb),
+            ("fc6", 148 * mb, 36 * kb, 16 * kb),
+            ("fc7", 64 * mb, 16 * kb, 16 * kb),
+            ("fc8", 16 * mb, 16 * kb, 4 * kb),
+        ],
+        "resnet": [
+            ("conv1", 37 * kb, 600 * kb, 3 * mb),
+            ("layer1", 850 * kb, 3 * mb, 3 * mb),
+            ("layer2", 4 * mb, 3 * mb, 1536 * kb),
+            ("layer3", 28 * mb, 1536 * kb, 768 * kb),
+            ("layer4", 56 * mb, 768 * kb, 384 * kb),
+            ("fc", 8 * mb, 8 * kb, 4 * kb),
+        ],
+        "vgg": [
+            ("block1", 150 * kb, 600 * kb, 12 * mb),
+            ("block2", 2200 * kb, 3 * mb, 6 * mb),
+            ("block3", 16 * mb, 1536 * kb, 3 * mb),
+            ("block4", 32 * mb, 768 * kb, 1536 * kb),
+            ("block5", 37 * mb, 384 * kb, 384 * kb),
+            ("fc6", 392 * mb, 100 * kb, 16 * kb),
+            ("fc7", 64 * mb, 16 * kb, 16 * kb),
+            ("fc8", 16 * mb, 16 * kb, 4 * kb),
+        ],
+        "bert": [
+            (f"encoder{index}", 28 * mb, 384 * kb, 384 * kb) for index in range(12)
+        ],
+        "transformer": [
+            (f"layer{index}", 12 * mb, 384 * kb, 384 * kb) for index in range(6)
+        ],
+        "dlrm": [
+            ("bottom_mlp1", 2 * mb, 4 * kb, 64 * kb),
+            ("bottom_mlp2", 4 * mb, 64 * kb, 64 * kb),
+            ("interaction", 64 * kb, 192 * kb, 64 * kb),
+            ("top_mlp1", 16 * mb, 64 * kb, 128 * kb),
+            ("top_mlp2", 8 * mb, 128 * kb, 4 * kb),
+        ],
+    }
+    try:
+        layer_shapes = shapes[model]
+    except KeyError:
+        known = ", ".join(sorted(shapes))
+        raise ValueError(f"unknown ML model {model!r}; expected one of: {known}")
+    return [
+        Layer(name, _scaled(w, scale), _scaled(i, scale), _scaled(o, scale))
+        for name, w, i, o in layer_shapes
+    ]
+
+
+def _region(allocator: Allocator, name: str, size: int) -> int:
+    """Idempotent allocation: threads share one copy of every structure."""
+    existing = allocator.regions.get(name)
+    if existing is not None:
+        return existing[0]
+    return allocator.alloc(name, size)
+
+
+def _stream(base: int, size: int, is_write: bool, start: int, step: int) -> Iterator[AddressEvent]:
+    """Streaming access over [base, base+size), 64B stride.
+
+    ``start``/``step`` partition the stream across cores (each core touches
+    every ``step``-th line), modelling channel/neuron parallelism.
+    """
+    for offset in range(start * 64, size, step * 64):
+        yield base + offset, is_write
+
+
+#: Default footprint scale per model, chosen so each model sits in the
+#: regime the paper describes for regular workloads (Sec. 6.3): high cache
+#: hit rates for most models, with the larger models (VGG) streaming and
+#: exposing the re-encryption path.  See EXPERIMENTS.md (Figure 17).
+DEFAULT_MODEL_SCALE = {
+    "mlp": 0.05,
+    "alexnet": 0.002,
+    "resnet": 0.002,
+    "vgg": 0.002,
+    "bert": 0.001,
+    "transformer": 0.002,
+    "dlrm": 0.005,
+}
+
+#: Rows in DLRM's (scaled) categorical embedding tables.
+DLRM_EMBEDDING_ROWS = 4096
+
+#: Embedding lookups per DLRM sample (26 categorical features).
+DLRM_LOOKUPS = 26
+
+
+def _inference_events(
+    model: str,
+    allocator: Allocator,
+    rng: random.Random,
+    core: int,
+    num_cores: int,
+    scale: float,
+) -> Iterator[AddressEvent]:
+    layers = model_layers(model, scale)
+    weight_bases = {
+        layer.name: _region(allocator, f"{model}:w:{layer.name}", layer.weight_bytes)
+        for layer in layers
+    }
+    # Activations ping-pong between two shared buffers, reused every batch.
+    act_bytes = max(
+        max(layer.input_bytes for layer in layers),
+        max(layer.output_bytes for layer in layers),
+    )
+    act_a = _region(allocator, f"{model}:act_a", act_bytes)
+    act_b = _region(allocator, f"{model}:act_b", act_bytes)
+    embed_base = None
+    if model == "dlrm":
+        embed_base = _region(allocator, f"{model}:embeddings", DLRM_EMBEDDING_ROWS * 256)
+    while True:  # one iteration = one inference batch
+        source, target = act_a, act_b
+        if embed_base is not None:
+            for _ in range(DLRM_LOOKUPS):
+                row = rng.randrange(DLRM_EMBEDDING_ROWS)
+                yield embed_base + row * 256, False
+        for layer in layers:
+            yield from _stream(source, layer.input_bytes, False, core, num_cores)
+            yield from _stream(weight_bases[layer.name], layer.weight_bytes, False, core, num_cores)
+            yield from _stream(target, layer.output_bytes, True, core, num_cores)
+            source, target = target, source
+
+
+def generate_ml_trace(
+    model: str,
+    num_cores: int = 4,
+    max_accesses: int = 200_000,
+    seed: int = 23,
+    scale: Optional[float] = None,
+) -> Trace:
+    """Synthesise an inference trace for ``model``.
+
+    Args:
+        model: ``mlp`` or one of :data:`ML_WORKLOADS`.
+        num_cores: Threads parallelising channels/neurons (paper: 4).
+        max_accesses: Total trace length.
+        seed: RNG seed (affects DLRM's embedding lookups).
+        scale: Uniform footprint scale applied to the model's real sizes;
+            defaults to the model's entry in :data:`DEFAULT_MODEL_SCALE`.
+    """
+    if scale is None:
+        scale = DEFAULT_MODEL_SCALE.get(model, 0.002)
+    allocator = Allocator()
+    per_core = max(1, max_accesses // num_cores)
+    streams: List[List[MemoryAccess]] = []
+    for core in range(num_cores):
+        rng = random.Random(seed * 17 + core)
+        events = _inference_events(model, allocator, rng, core, num_cores, scale)
+        stream = [
+            MemoryAccess(address, AccessType.WRITE if is_write else AccessType.READ, core)
+            for address, is_write in itertools.islice(events, per_core)
+        ]
+        streams.append(stream)
+    return Trace(
+        name=model,
+        accesses=interleave(streams),
+        metadata={
+            "model": model,
+            "num_cores": num_cores,
+            "scale": scale,
+            "seed": seed,
+            "footprint_bytes": allocator.footprint_bytes,
+        },
+    )

@@ -1,0 +1,156 @@
+"""Synthetic SPEC-like irregular workloads: mcf, canneal, omnetpp.
+
+The paper adds three SPEC benchmarks "known for their low locality and
+irregular memory access patterns" (Sec. 5).  Real SPEC inputs are not
+redistributable, so we synthesise traces that exercise the same behaviour
+(DESIGN.md, substitution 3):
+
+* **mcf** (network simplex): pointer chasing through a large arc/node
+  graph with data-dependent jumps;
+* **canneal** (simulated annealing placement): random element pair swaps
+  across a large netlist array — reads, then writes, to far-apart elements;
+* **omnetpp** (discrete event simulation): a hot event-queue heap plus
+  cold per-message payloads scattered over a large pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Iterator, List, Tuple
+
+from ..mem.access import AccessType, MemoryAccess
+from .trace import Allocator, Trace, interleave
+
+AddressEvent = Tuple[int, bool]
+
+#: SPEC workload names in paper order.
+SPEC_WORKLOADS = ("mcf", "canneal", "omnetpp")
+
+
+def _mcf_events(
+    allocator: Allocator, rng: random.Random, nodes: int, core: int
+) -> Iterator[AddressEvent]:
+    node_bytes = 64  # one node record per cache line, as in mcf's arcs
+    base = allocator.alloc(f"mcf:nodes[{core}]", nodes * node_bytes)
+    potential_base = allocator.alloc(f"mcf:potential[{core}]", nodes * 8)
+    # Build a random successor permutation: classic pointer chasing.
+    successors = list(range(nodes))
+    rng.shuffle(successors)
+    current = rng.randrange(nodes)
+    while True:
+        yield base + current * node_bytes, False  # load node record
+        yield potential_base + current * 8, False  # read node potential
+        if rng.random() < 0.15:
+            yield potential_base + current * 8, True  # price update
+        current = successors[current]
+        if rng.random() < 0.02:
+            current = rng.randrange(nodes)  # pivot to a new subtree
+
+
+def _canneal_events(
+    allocator: Allocator, rng: random.Random, elements: int, core: int
+) -> Iterator[AddressEvent]:
+    element_bytes = 32
+    base = allocator.alloc(f"canneal:netlist[{core}]", elements * element_bytes)
+    cost_base = allocator.alloc(f"canneal:cost[{core}]", 4096 * 8)
+    step = 0
+    while True:
+        a = rng.randrange(elements)
+        b = rng.randrange(elements)
+        # Evaluate swap cost: read both elements and their neighbors.
+        for element in (a, b):
+            yield base + element * element_bytes, False
+            neighbor = (element + rng.randrange(1, 16)) % elements
+            yield base + neighbor * element_bytes, False
+        yield cost_base + (step % 4096) * 8, True  # record delta cost
+        if rng.random() < 0.5:  # accept swap: write both elements
+            yield base + a * element_bytes, True
+            yield base + b * element_bytes, True
+        step += 1
+
+
+def _omnetpp_events(
+    allocator: Allocator, rng: random.Random, messages: int, core: int
+) -> Iterator[AddressEvent]:
+    message_bytes = 128
+    pool_base = allocator.alloc(f"omnetpp:pool[{core}]", messages * message_bytes)
+    heap_base = allocator.alloc(f"omnetpp:heap[{core}]", 16384 * 16)
+    event_queue: List[Tuple[float, int]] = []
+    clock = 0.0
+    next_message = 0
+    for _ in range(64):  # seed the queue
+        heapq.heappush(event_queue, (rng.random(), next_message % messages))
+        next_message += 1
+    while True:
+        clock, message = heapq.heappop(event_queue)
+        # Heap pop touches the top of the heap array (hot).
+        for slot in range(min(4, len(event_queue) + 1)):
+            yield heap_base + slot * 16, False
+        yield heap_base + 0, True
+        # Message handling touches its (cold) payload.
+        for offset in range(0, message_bytes, 64):
+            yield pool_base + message * message_bytes + offset, False
+        yield pool_base + message * message_bytes, True
+        # Schedule 1-2 follow-up events at random future times.
+        for _ in range(rng.randrange(1, 3)):
+            target = rng.randrange(messages)
+            heapq.heappush(event_queue, (clock + rng.random(), target))
+            depth = max(1, len(event_queue).bit_length())
+            for level in range(depth):
+                yield heap_base + ((len(event_queue) >> level) % 16384) * 16, True
+
+
+_GENERATORS = {
+    "mcf": (_mcf_events, 400_000),  # (generator, default structure size)
+    "canneal": (_canneal_events, 600_000),
+    "omnetpp": (_omnetpp_events, 150_000),
+}
+
+
+def generate_spec_trace(
+    benchmark: str,
+    num_cores: int = 4,
+    max_accesses: int = 200_000,
+    seed: int = 11,
+    working_set_elements: int = None,
+) -> Trace:
+    """Synthesise a SPEC-like irregular trace.
+
+    Args:
+        benchmark: ``mcf``, ``canneal`` or ``omnetpp``.
+        num_cores: Thread count (per-thread working sets, as the paper runs
+            4-thread rate-style copies).
+        max_accesses: Total trace length.
+        seed: RNG seed.
+        working_set_elements: Override the per-core structure size.
+    """
+    try:
+        generator, default_elements = _GENERATORS[benchmark]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise ValueError(f"unknown SPEC benchmark {benchmark!r}; expected one of: {known}")
+    elements = working_set_elements if working_set_elements is not None else default_elements
+    allocator = Allocator()
+    per_core = max(1, max_accesses // num_cores)
+    streams: List[List[MemoryAccess]] = []
+    for core in range(num_cores):
+        rng = random.Random(seed * 100 + core)
+        events = generator(allocator, rng, elements, core)
+        stream = [
+            MemoryAccess(address, AccessType.WRITE if is_write else AccessType.READ, core)
+            for address, is_write in itertools.islice(events, per_core)
+        ]
+        streams.append(stream)
+    return Trace(
+        name=benchmark,
+        accesses=interleave(streams),
+        metadata={
+            "benchmark": benchmark,
+            "num_cores": num_cores,
+            "elements_per_core": elements,
+            "seed": seed,
+            "footprint_bytes": allocator.footprint_bytes,
+        },
+    )

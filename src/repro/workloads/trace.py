@@ -1,0 +1,152 @@
+"""Trace container and helpers shared by every workload generator.
+
+A trace is a sequence of :class:`~repro.mem.access.MemoryAccess` records.
+Workloads build per-core streams; :func:`interleave` merges them round-robin
+to model the paper's 4-thread execution feeding one shared LLC and memory
+controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from ..mem.access import AccessType, MemoryAccess
+
+#: Base of the workload heap; structures are laid out above this address.
+HEAP_BASE = 0x1000_0000
+
+#: Alignment for each allocated structure (a 4KB page).
+ALLOC_ALIGN = 4096
+
+
+class Allocator:
+    """Bump allocator assigning page-aligned base addresses to structures."""
+
+    def __init__(self, base: int = HEAP_BASE) -> None:
+        self._next = base
+        self.regions: Dict[str, tuple] = {}
+
+    def alloc(self, name: str, size_bytes: int) -> int:
+        """Reserve ``size_bytes`` for structure ``name``; returns its base."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        base = self._next
+        rounded = (size_bytes + ALLOC_ALIGN - 1) // ALLOC_ALIGN * ALLOC_ALIGN
+        self._next += rounded
+        self.regions[name] = (base, size_bytes)
+        return base
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes reserved so far."""
+        return self._next - HEAP_BASE
+
+
+@dataclass
+class Trace:
+    """A named, materialised access trace.
+
+    Attributes:
+        name: Workload label carried through to result tables.
+        accesses: The access records in program order.
+        metadata: Generator parameters for reproducibility reports.
+    """
+
+    name: str
+    accesses: List[MemoryAccess] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are stores."""
+        if not self.accesses:
+            return 0.0
+        writes = sum(1 for access in self.accesses if access.is_write)
+        return writes / len(self.accesses)
+
+    def footprint_blocks(self) -> int:
+        """Number of distinct 64B blocks touched."""
+        return len({access.block_address for access in self.accesses})
+
+    def truncated(self, max_accesses: int) -> "Trace":
+        """A copy limited to the first ``max_accesses`` records."""
+        return Trace(self.name, self.accesses[:max_accesses], dict(self.metadata))
+
+    def core_counts(self) -> Dict[int, int]:
+        """Accesses per core id."""
+        counts: Dict[int, int] = {}
+        for access in self.accesses:
+            counts[access.core] = counts.get(access.core, 0) + 1
+        return counts
+
+
+def interleave(streams: Sequence[Sequence[MemoryAccess]]) -> List[MemoryAccess]:
+    """Round-robin merge of per-core access streams.
+
+    Streams may have different lengths; exhausted streams simply drop out,
+    mirroring threads that finish their partition early.
+    """
+    merged: List[MemoryAccess] = []
+    iterators = [iter(stream) for stream in streams]
+    active = list(range(len(iterators)))
+    while active:
+        still_active: List[int] = []
+        for index in active:
+            try:
+                merged.append(next(iterators[index]))
+            except StopIteration:
+                continue
+            still_active.append(index)
+        active = still_active
+    return merged
+
+
+def reads_and_writes(
+    addresses: Iterable[tuple],
+    core: int = 0,
+) -> List[MemoryAccess]:
+    """Build accesses from ``(address, is_write)`` tuples for one core."""
+    return [
+        MemoryAccess(address, AccessType.WRITE if is_write else AccessType.READ, core)
+        for address, is_write in addresses
+    ]
+
+
+def multiprogram(traces: Sequence[Trace], address_stride: int = 1 << 30) -> Trace:
+    """Build a multi-programmed mix: one workload per core.
+
+    Each input trace is pinned to its own core and relocated into a
+    private address-space slice (``address_stride`` apart) so the
+    programs share only the LLC and the memory controller — the classic
+    rate-mode setup.  Streams interleave round-robin.  The simulated
+    memory must span ``len(traces) * address_stride`` bytes plus the
+    largest program footprint.
+    """
+    if not traces:
+        raise ValueError("multiprogram needs at least one trace")
+    streams: List[List[MemoryAccess]] = []
+    for core, trace in enumerate(traces):
+        base = core * address_stride
+        streams.append(
+            [
+                MemoryAccess(base + access.address, access.type, core)
+                for access in trace.accesses
+            ]
+        )
+    name = "+".join(trace.name for trace in traces)
+    return Trace(
+        name=name,
+        accesses=interleave(streams),
+        metadata={
+            "kind": "multiprogram",
+            "programs": [trace.name for trace in traces],
+            "address_stride": address_stride,
+        },
+    )

@@ -1,0 +1,64 @@
+"""Unit tests for the core access data types."""
+
+from repro.mem.access import (
+    BLOCK_SHIFT,
+    BLOCK_SIZE,
+    AccessType,
+    MemoryAccess,
+    block_base,
+    block_of,
+)
+
+
+def test_block_size_constants_consistent():
+    assert BLOCK_SIZE == 1 << BLOCK_SHIFT
+    assert BLOCK_SIZE == 64
+
+
+def test_block_address_strips_offset():
+    access = MemoryAccess(0x1234)
+    assert access.block_address == 0x1234 >> 6
+
+
+def test_same_block_for_all_offsets():
+    base = 0x40000
+    blocks = {MemoryAccess(base + offset).block_address for offset in range(64)}
+    assert len(blocks) == 1
+
+
+def test_adjacent_blocks_differ():
+    assert MemoryAccess(0).block_address != MemoryAccess(64).block_address
+
+
+def test_is_write_flag():
+    assert MemoryAccess(0, AccessType.WRITE).is_write
+    assert not MemoryAccess(0, AccessType.READ).is_write
+    assert not MemoryAccess(0).is_write  # reads by default
+
+
+def test_core_defaults_to_zero():
+    assert MemoryAccess(0).core == 0
+    assert MemoryAccess(0, AccessType.READ, 3).core == 3
+
+
+def test_block_of_matches_property():
+    for address in (0, 63, 64, 65, 4096, 123456789):
+        assert block_of(address) == MemoryAccess(address).block_address
+
+
+def test_block_base_is_aligned():
+    for address in (0, 63, 64, 100, 8191):
+        base = block_base(address)
+        assert base % 64 == 0
+        assert base <= address < base + 64
+
+
+def test_access_is_hashable_and_frozen():
+    access = MemoryAccess(128, AccessType.READ, 1)
+    assert access in {access}
+    try:
+        access.address = 0  # type: ignore[misc]
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("MemoryAccess should be immutable")

@@ -1,0 +1,62 @@
+"""Unit tests for the AES-CTR one-time-pad model."""
+
+import pytest
+
+from repro.secure.aes import AES_LATENCY_CYCLES, AesCtrEngine, LINE_BYTES
+
+
+def test_encrypt_decrypt_roundtrip():
+    engine = AesCtrEngine()
+    plaintext = bytes(range(64))
+    ciphertext = engine.encrypt(plaintext, physical_address=0x1000, counter=5)
+    assert ciphertext != plaintext
+    assert engine.decrypt(ciphertext, physical_address=0x1000, counter=5) == plaintext
+
+
+def test_different_counters_give_different_ciphertexts():
+    engine = AesCtrEngine()
+    plaintext = b"\x00" * 64
+    c1 = engine.encrypt(plaintext, 0x1000, counter=1)
+    c2 = engine.encrypt(plaintext, 0x1000, counter=2)
+    assert c1 != c2
+
+
+def test_different_addresses_give_different_pads():
+    engine = AesCtrEngine()
+    plaintext = b"\x00" * 64
+    assert engine.encrypt(plaintext, 0x1000, 1) != engine.encrypt(plaintext, 0x2000, 1)
+
+
+def test_different_keys_give_different_pads():
+    plaintext = b"\x00" * 64
+    a = AesCtrEngine(key=b"key-a").encrypt(plaintext, 0, 0)
+    b = AesCtrEngine(key=b"key-b").encrypt(plaintext, 0, 0)
+    assert a != b
+
+
+def test_pad_is_deterministic():
+    engine = AesCtrEngine()
+    assert engine.one_time_pad(10, 20) == engine.one_time_pad(10, 20)
+
+
+def test_pad_length():
+    engine = AesCtrEngine()
+    assert len(engine.one_time_pad(0, 0)) == LINE_BYTES
+    assert len(engine.one_time_pad(0, 0, length=100)) == 100
+
+
+def test_pad_rejects_nonpositive_length():
+    with pytest.raises(ValueError):
+        AesCtrEngine().one_time_pad(0, 0, length=0)
+
+
+def test_decrypt_with_wrong_counter_garbles():
+    engine = AesCtrEngine()
+    plaintext = b"secret data under counter mode!!" * 2
+    ciphertext = engine.encrypt(plaintext, 0x40, counter=7)
+    assert engine.decrypt(ciphertext, 0x40, counter=8) != plaintext
+
+
+def test_latency_constant_from_paper():
+    assert AES_LATENCY_CYCLES == 40
+    assert AesCtrEngine().latency_cycles == 40

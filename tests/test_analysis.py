@@ -1,0 +1,133 @@
+"""Tests for the trace-analysis module."""
+
+import pytest
+
+from repro.mem.access import AccessType, MemoryAccess
+from repro.workloads.analysis import (
+    TraceCharacterization,
+    characterize,
+    ctr_line_popularity,
+    reuse_profile,
+    working_set_curve,
+)
+
+
+def stream(blocks, writes=()):
+    return [
+        MemoryAccess(block * 64, AccessType.WRITE if i in writes else AccessType.READ)
+        for i, block in enumerate(blocks)
+    ]
+
+
+class TestReuseProfile:
+    def test_cold_misses_counted(self):
+        profile = reuse_profile(stream([1, 2, 3]))
+        assert profile.cold_misses == 3
+        assert profile.distances == []
+
+    def test_immediate_reuse_distance_zero(self):
+        profile = reuse_profile(stream([1, 1]))
+        assert profile.distances == [0]
+
+    def test_stack_distance_counts_distinct_blocks(self):
+        # 1, 2, 3, 1 -> reuse of 1 after touching {2, 3}: distance 2.
+        profile = reuse_profile(stream([1, 2, 3, 1]))
+        assert profile.distances == [2]
+
+    def test_repeated_intermediate_blocks_counted_once(self):
+        # 1, 2, 2, 2, 1 -> distance 1 (only block 2 in between).
+        profile = reuse_profile(stream([1, 2, 2, 2, 1]))
+        assert profile.distances[-1] == 1
+
+    def test_lru_hit_rate_matches_simulation(self):
+        import random
+
+        from repro.mem.cache import Cache
+
+        rng = random.Random(0)
+        blocks = [rng.randrange(64) for _ in range(3000)]
+        profile = reuse_profile(stream(blocks))
+        # A fully associative LRU cache of 32 lines:
+        cache = Cache(32 * 64, 32)
+        for block in blocks:
+            cache.access_and_fill(block)
+        assert profile.hit_rate_at(32) == pytest.approx(cache.stats.hit_rate, abs=0.01)
+
+    def test_miss_ratio_curve_monotone(self):
+        import random
+
+        rng = random.Random(1)
+        profile = reuse_profile(stream([rng.randrange(200) for _ in range(2000)]))
+        curve = profile.miss_ratio_curve([1, 8, 64, 512])
+        rates = [rate for _, rate in curve]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_counter_granularity(self):
+        # Blocks 0 and 100 share one MorphCtr line; at shift 7 the second
+        # access is a reuse, at shift 0 it is cold.
+        accesses = stream([0, 100])
+        assert reuse_profile(accesses, granularity_shift=7).distances == [0]
+        assert reuse_profile(accesses).cold_misses == 2
+
+    def test_median_distance(self):
+        profile = reuse_profile(stream([1, 2, 1, 2, 1]))
+        assert profile.median_distance() == 1
+        assert reuse_profile(stream([1, 2])).median_distance() is None
+
+
+class TestCharacterize:
+    def test_sequential_stream(self):
+        result = characterize(stream(list(range(500))))
+        assert result.sequential_fraction > 0.95
+        assert result.distinct_blocks == 500
+        assert not result.is_irregular
+
+    def test_random_stream_is_irregular(self):
+        import random
+
+        rng = random.Random(2)
+        result = characterize(stream([rng.randrange(10_000) for _ in range(3000)]))
+        assert result.sequential_fraction < 0.1
+        assert result.is_irregular
+
+    def test_write_fraction(self):
+        result = characterize(stream([1, 2, 3, 4], writes={0, 1}))
+        assert result.write_fraction == 0.5
+
+    def test_skewed_popularity(self):
+        blocks = [0] * 900 + list(range(1, 101))
+        result = characterize(stream(blocks))
+        assert result.top1pct_block_share > 0.8
+
+    def test_entropy_flat_vs_skewed(self):
+        flat = characterize(stream(list(range(256))))
+        skewed = characterize(stream([0] * 255 + [1]))
+        assert flat.entropy_bits > skewed.entropy_bits
+
+    def test_empty_trace(self):
+        result = characterize([])
+        assert result == TraceCharacterization(0, 0, 0.0, 0.0, 0.0, 0.0)
+
+
+class TestWorkingSetAndPopularity:
+    def test_working_set_curve_windows(self):
+        curve = working_set_curve(stream([1, 2, 1, 3, 4, 4]), window=3)
+        assert curve == [(3, 2), (6, 2)]  # windows {1,2,1} and {3,4,4}
+
+    def test_ctr_line_popularity_grouping(self):
+        counts = ctr_line_popularity(stream([0, 1, 127, 128, 300]), blocks_per_ctr=128)
+        assert counts[0] == 3
+        assert counts[1] == 1
+        assert counts[2] == 1
+
+    def test_graph_trace_is_irregular(self, dfs_trace):
+        result = characterize(dfs_trace.accesses)
+        assert result.is_irregular
+
+    def test_ml_trace_is_regular(self):
+        from repro.workloads.ml import generate_ml_trace
+
+        trace = generate_ml_trace("vgg", num_cores=1, max_accesses=5000, scale=0.01)
+        result = characterize(trace.accesses)
+        assert result.sequential_fraction > 0.8
+        assert not result.is_irregular

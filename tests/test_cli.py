@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+from repro.bench import runner
+
+
+@pytest.fixture(autouse=True)
+def tiny_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_LEN", "2000")
+    monkeypatch.setenv("REPRO_GRAPH_SCALE", "0.03")
+    monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "traces")
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+    yield
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+
+
+def test_every_figure_and_table_has_a_cli_entry():
+    expected = {f"fig{n}" for n in (2, 3, 4, 5, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17)}
+    expected |= {"tab1", "tab2", "tab4"}
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cosmos" in out
+    assert "fig10" in out
+    assert "dfs" in out
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "-d", "morphctr", "-w", "dfs", "-n", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "morphctr" in out
+    assert "ctr_miss_rate" in out
+
+
+def test_reproduce_single_experiment(capsys):
+    assert main(["reproduce", "tab2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_reproduce_unknown_experiment(capsys):
+    assert main(["reproduce", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,61 @@
+"""Unit tests for the COSMOS controller and its variants (Table 4)."""
+
+from repro.core.config import CosmosConfig
+from repro.core.cosmos import CosmosController, CosmosVariant
+from repro.core.lcr_cache import FLAG_BAD, FLAG_GOOD
+
+
+def test_variant_names_match_table4():
+    assert CosmosVariant.full().name == "cosmos"
+    assert CosmosVariant.dp_only().name == "cosmos-dp"
+    assert CosmosVariant.cp_only().name == "cosmos-cp"
+
+
+def test_full_variant_has_both_predictors():
+    controller = CosmosController()
+    assert controller.location is not None
+    assert controller.locality is not None
+
+
+def test_dp_only_disables_locality():
+    controller = CosmosController(variant=CosmosVariant.dp_only())
+    assert controller.location is not None
+    assert controller.locality is None
+    assert controller.classify_ctr(5) == (None, None)
+
+
+def test_cp_only_disables_location():
+    controller = CosmosController(variant=CosmosVariant.cp_only())
+    assert controller.location is None
+    predicted_off, action, state = controller.on_l1_miss(5)
+    assert predicted_off is False
+    assert action is None and state is None
+
+
+def test_cp_only_classifies():
+    controller = CosmosController(variant=CosmosVariant.cp_only())
+    flag, score = controller.classify_ctr(5)
+    assert flag in (FLAG_GOOD, FLAG_BAD)
+    assert isinstance(score, int)
+
+
+def test_train_location_noop_when_disabled():
+    controller = CosmosController(variant=CosmosVariant.cp_only())
+    controller.train_location(None, None, on_chip=True)  # must not raise
+
+
+def test_on_l1_miss_returns_consistent_tuple():
+    controller = CosmosController(CosmosConfig(num_states=128))
+    predicted_off, action, state = controller.on_l1_miss(77)
+    assert isinstance(predicted_off, bool)
+    assert action in (0, 1)
+    assert 0 <= state < 128
+
+
+def test_training_changes_policy_over_time():
+    controller = CosmosController(CosmosConfig(num_states=64))
+    for _ in range(300):
+        predicted_off, action, state = controller.on_l1_miss(9)
+        controller.train_location(state, action, on_chip=False)
+    predicted_off, _, _ = controller.on_l1_miss(9)
+    assert predicted_off  # learned that the block's region is off-chip

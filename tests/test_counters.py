@@ -1,0 +1,140 @@
+"""Unit tests for the counter organisations (mono / split / MorphCtr)."""
+
+import pytest
+
+from repro.secure.counters import (
+    MonolithicCounters,
+    MorphCtrCounters,
+    SplitCounters,
+    make_counter_scheme,
+)
+
+
+class TestMonolithic:
+    def test_coverage_ratio(self):
+        assert MonolithicCounters.blocks_per_ctr == 8  # 8x 64-bit per line
+
+    def test_increment_and_read(self):
+        scheme = MonolithicCounters()
+        assert scheme.counter_value(5) == 0
+        scheme.increment(5)
+        scheme.increment(5)
+        assert scheme.counter_value(5) == 2
+        assert scheme.counter_value(6) == 0
+
+    def test_never_overflows(self):
+        scheme = MonolithicCounters()
+        for _ in range(1000):
+            assert scheme.increment(0) is None
+
+    def test_updates_tracked_per_line(self):
+        scheme = MonolithicCounters()
+        scheme.increment(0)
+        scheme.increment(7)  # same line (blocks 0-7)
+        scheme.increment(8)  # next line
+        assert scheme.updates_to(0) == 2
+        assert scheme.updates_to(1) == 1
+
+
+class TestSplit:
+    def test_coverage_ratio(self):
+        assert SplitCounters.blocks_per_ctr == 64
+
+    def test_minor_isolated_per_block(self):
+        scheme = SplitCounters()
+        scheme.increment(0)
+        assert scheme.counter_value(0) == 1
+        assert scheme.counter_value(1) == 0
+
+    def test_minor_overflow_triggers_reencryption(self):
+        scheme = SplitCounters()
+        event = None
+        for _ in range(128):
+            event = scheme.increment(3)
+            if event is not None:
+                break
+        assert event is not None
+        assert event.num_blocks == 64
+        assert event.dram_requests == 128
+        # Major advanced, minors reset.
+        assert scheme.counter_value(3) == 1 << 7
+
+    def test_counter_monotonicity_across_overflow(self):
+        scheme = SplitCounters()
+        seen = set()
+        for _ in range(300):
+            scheme.increment(0)
+            value = scheme.counter_value(0)
+            assert value not in seen, "counter values must never repeat"
+            seen.add(value)
+
+
+class TestMorphCtr:
+    def test_coverage_ratio_is_1_to_128(self):
+        assert MorphCtrCounters.blocks_per_ctr == 128
+
+    def test_uniform_format_holds_small_minors(self):
+        scheme = MorphCtrCounters()
+        for block in range(128):
+            for _ in range(7):
+                assert scheme.increment(block) is None
+        assert scheme.line_format(0) == "uniform"
+
+    def test_zcc_allows_deep_sparse_counters(self):
+        scheme = MorphCtrCounters()
+        # A single hot block can go far beyond 7 before overflow.
+        overflowed_at = None
+        for update in range(1, 5000):
+            if scheme.increment(0) is not None:
+                overflowed_at = update
+                break
+        assert overflowed_at is None or overflowed_at > 100
+        assert scheme.line_format(0) in ("zcc", "uniform")
+
+    def test_dense_deep_usage_overflows(self):
+        scheme = MorphCtrCounters()
+        event = None
+        for round_index in range(100):
+            for block in range(128):
+                event = scheme.increment(block) or event
+            if event:
+                break
+        assert event is not None
+        assert event.num_blocks == 128
+        assert event.dram_requests == 256
+
+    def test_representable_formats(self):
+        assert MorphCtrCounters.format_of({}) == "uniform"
+        assert MorphCtrCounters.format_of({0: 7}) == "uniform"
+        assert MorphCtrCounters.format_of({0: 100}) == "zcc"
+        dense_deep = {block: 30 for block in range(128)}
+        assert MorphCtrCounters.format_of(dense_deep) == "overflow"
+
+    def test_counter_values_distinct_across_blocks(self):
+        scheme = MorphCtrCounters()
+        scheme.increment(0)
+        scheme.increment(1)
+        scheme.increment(1)
+        assert scheme.counter_value(0) != scheme.counter_value(1)
+
+    def test_ctr_index_mapping(self):
+        scheme = MorphCtrCounters()
+        assert scheme.ctr_index(0) == 0
+        assert scheme.ctr_index(127) == 0
+        assert scheme.ctr_index(128) == 1
+
+    def test_storage_density_ordering(self):
+        mono = MonolithicCounters().storage_bits_per_data_block()
+        split = SplitCounters().storage_bits_per_data_block()
+        morph = MorphCtrCounters().storage_bits_per_data_block()
+        assert mono > split > morph
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["monolithic", "split", "morphctr"])
+    def test_make(self, name):
+        assert make_counter_scheme(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_counter_scheme("quantum")

@@ -1,0 +1,85 @@
+"""Unit tests for the CTR cache."""
+
+from repro.core.lcr_cache import FLAG_BAD, FLAG_GOOD, LcrReplacementPolicy
+from repro.secure.counters import MorphCtrCounters
+from repro.secure.ctr_cache import CtrCache
+from repro.secure.layout import SecureLayout
+
+
+def make_ctr_cache(size=8 * 1024, policy=None):
+    layout = SecureLayout(data_blocks=1 << 20, blocks_per_ctr=128)
+    return CtrCache(layout, MorphCtrCounters(), size_bytes=size, assoc=4, policy=policy)
+
+
+def test_blocks_sharing_a_counter_line_hit_together():
+    cache = make_ctr_cache()
+    assert not cache.access(0)  # miss fills the line covering blocks 0-127
+    assert cache.access(127)
+    assert not cache.access(128)  # next counter line
+
+
+def test_miss_rate_accounting():
+    cache = make_ctr_cache()
+    cache.access(0)
+    cache.access(0)
+    cache.access(128)
+    assert cache.stats.accesses == 3
+    assert cache.stats.misses == 2
+    assert abs(cache.miss_rate - 2 / 3) < 1e-9
+
+
+def test_ctr_block_address_in_ctr_region():
+    cache = make_ctr_cache()
+    address = cache.ctr_block_address(0)
+    assert address == cache.layout.ctr_region_base
+
+
+def test_locality_tags_stored_on_lines():
+    cache = make_ctr_cache(policy=LcrReplacementPolicy())
+    cache.access(0, locality_flag=FLAG_GOOD, locality_score=42)
+    line = cache.cache.get_line(cache.ctr_block_address(0))
+    assert line.locality_flag == FLAG_GOOD
+    assert line.locality_score == 42
+    assert cache.stats.good_locality_tags == 1
+
+
+def test_retag_on_reaccess():
+    cache = make_ctr_cache(policy=LcrReplacementPolicy())
+    cache.access(0, locality_flag=FLAG_GOOD, locality_score=40)
+    cache.access(0, locality_flag=FLAG_BAD, locality_score=10)
+    line = cache.cache.get_line(cache.ctr_block_address(0))
+    assert line.locality_flag == FLAG_BAD
+    assert cache.stats.bad_locality_tags == 1
+
+
+def test_good_locality_fraction():
+    cache = make_ctr_cache(policy=LcrReplacementPolicy())
+    cache.access(0, locality_flag=FLAG_GOOD, locality_score=1)
+    cache.access(128, locality_flag=FLAG_BAD, locality_score=1)
+    cache.access(256, locality_flag=FLAG_BAD, locality_score=1)
+    assert abs(cache.stats.good_locality_fraction - 1 / 3) < 1e-9
+
+
+def test_untagged_accesses_not_counted_in_fraction():
+    cache = make_ctr_cache()
+    cache.access(0)
+    assert cache.stats.good_locality_fraction == 0.0
+
+
+def test_contains_probe():
+    cache = make_ctr_cache()
+    assert not cache.contains(0)
+    cache.access(0)
+    assert cache.contains(0)
+    assert cache.contains(64)  # same counter line
+
+
+def test_write_access_marks_line_dirty():
+    written = []
+    cache = make_ctr_cache(size=2 * 64 * 4)
+    cache.cache.writeback_sink = written.append
+    cache.access(0, is_write=True)
+    # Thrash the set until the dirty counter line is evicted.
+    for line_index in range(1, 4096):
+        cache.access(line_index * 128)
+    assert cache.ctr_block_address(0) in written

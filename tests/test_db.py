@@ -1,0 +1,82 @@
+"""Tests for the database-kernel workloads."""
+
+import pytest
+
+from repro.workloads.analysis import characterize
+from repro.workloads.db import DB_WORKLOADS, generate_db_trace
+
+
+def test_workload_names():
+    assert set(DB_WORKLOADS) == {"hashjoin", "btree", "ycsb"}
+
+
+@pytest.mark.parametrize("workload", DB_WORKLOADS)
+def test_generates_requested_length(workload):
+    trace = generate_db_trace(workload, num_cores=2, max_accesses=4000)
+    assert len(trace) == 4000
+    assert trace.name == workload
+
+
+def test_unknown_workload():
+    with pytest.raises(ValueError):
+        generate_db_trace("olap")
+
+
+def test_deterministic():
+    a = generate_db_trace("ycsb", num_cores=1, max_accesses=2000, seed=9)
+    b = generate_db_trace("ycsb", num_cores=1, max_accesses=2000, seed=9)
+    assert [x.address for x in a] == [x.address for x in b]
+
+
+def test_hash_join_probe_is_irregular():
+    trace = generate_db_trace("hashjoin", num_cores=1, max_accesses=8000,
+                              working_set=30_000)
+    result = characterize(trace.accesses)
+    assert result.sequential_fraction < 0.6  # scans + random bucket probes
+
+
+def test_btree_has_hot_root_and_cold_leaves():
+    trace = generate_db_trace("btree", num_cores=1, max_accesses=10_000,
+                              working_set=100_000)
+    counts = {}
+    for access in trace:
+        counts[access.block_address] = counts.get(access.block_address, 0) + 1
+    frequencies = sorted(counts.values(), reverse=True)
+    # Root node lines are orders of magnitude hotter than a median leaf.
+    assert frequencies[0] > 20 * frequencies[len(frequencies) // 2]
+
+
+def test_ycsb_read_heavy():
+    trace = generate_db_trace("ycsb", num_cores=1, max_accesses=10_000)
+    assert trace.write_fraction < 0.15  # 95/5 read/update mix
+
+
+def test_ycsb_skewed_popularity():
+    trace = generate_db_trace("ycsb", num_cores=1, max_accesses=10_000,
+                              working_set=50_000)
+    result = characterize(trace.accesses)
+    # 80% of operations hit the hot 1% of records; with multi-line records
+    # and index blocks the hottest 1% of *blocks* still carry a big share.
+    uniform_reference = characterize(
+        generate_db_trace("hashjoin", num_cores=1, max_accesses=10_000,
+                          working_set=50_000).accesses
+    )
+    assert result.top1pct_block_share > 0.05
+    assert result.top1pct_block_share > uniform_reference.top1pct_block_share
+
+
+def test_per_core_partitions_disjoint():
+    trace = generate_db_trace("btree", num_cores=2, max_accesses=4000)
+    blocks = {0: set(), 1: set()}
+    for access in trace:
+        blocks[access.core].add(access.block_address)
+    assert not (blocks[0] & blocks[1])
+
+
+def test_simulates_end_to_end():
+    from repro.sim.config import small_test_config
+    from repro.sim.simulator import simulate
+
+    trace = generate_db_trace("hashjoin", num_cores=1, max_accesses=6000)
+    result = simulate("cosmos", trace, small_test_config(), workload="hashjoin")
+    assert result.accesses == 6000

@@ -1,0 +1,68 @@
+"""Tests for the Synergy-style MAC-in-ECC design variants."""
+
+import random
+
+from repro.mem.access import MemoryAccess
+from repro.mem.hierarchy import HierarchyConfig, LevelConfig
+from repro.secure.designs import make_design
+from repro.secure.engine import EngineConfig
+from repro.secure.layout import SecureLayout
+
+
+def kwargs():
+    return {
+        "hierarchy_config": HierarchyConfig(
+            num_cores=1,
+            l1=LevelConfig(2 * 1024, 2, 2),
+            l2=LevelConfig(8 * 1024, 4, 20),
+            llc=LevelConfig(32 * 1024, 8, 128),
+        ),
+        "layout": SecureLayout(data_blocks=1 << 22, blocks_per_ctr=128),
+        "engine_config": EngineConfig(ctr_cache_bytes=8 * 1024, mt_cache_bytes=4 * 1024),
+    }
+
+
+def drive(design, n=3000, seed=0):
+    rng = random.Random(seed)
+    for _ in range(n):
+        design.process(MemoryAccess(rng.randrange(1 << 15) * 64))
+    return design
+
+
+def test_names():
+    assert make_design("synergy", **kwargs()).name == "synergy"
+    assert make_design("cosmos-synergy", **kwargs()).name == "cosmos-synergy"
+
+
+def test_synergy_removes_mac_traffic():
+    synergy = drive(make_design("synergy", **kwargs()))
+    baseline = drive(make_design("morphctr", **kwargs()))
+    assert synergy.traffic().mac_accesses == 0
+    assert baseline.traffic().mac_accesses > 0
+    # Everything else behaves like the baseline.
+    assert synergy.traffic().ctr_reads == baseline.traffic().ctr_reads
+    assert synergy.ctr_miss_rate() == baseline.ctr_miss_rate()
+
+
+def test_cosmos_synergy_keeps_cosmos_machinery():
+    design = make_design("cosmos-synergy", **kwargs())
+    assert design.controller.location is not None
+    assert design.controller.locality is not None
+    assert design.engine.ctr_cache.cache.policy.name == "lcr"
+    assert design.engine.config.mac_in_ecc
+    drive(design)
+    assert design.stats.bypasses + design.stats.fallback_fetches > 0
+
+
+def test_engine_config_not_mutated_for_caller():
+    config = EngineConfig(ctr_cache_bytes=8 * 1024, mt_cache_bytes=4 * 1024)
+    base = kwargs()
+    base["engine_config"] = config
+    make_design("synergy", **base)
+    assert config.mac_in_ecc is False  # replace(), not in-place mutation
+
+
+def test_synergy_total_traffic_strictly_lower():
+    synergy = drive(make_design("synergy", **kwargs()))
+    baseline = drive(make_design("morphctr", **kwargs()))
+    assert synergy.traffic().total < baseline.traffic().total

@@ -1,0 +1,71 @@
+"""Reproducibility: identical inputs must give bit-identical results.
+
+Every stochastic element in the stack (graph synthesis, workload RNGs,
+epsilon-greedy exploration, random replacement) is seeded, so a rerun of
+any experiment must produce exactly the same numbers — the property the
+benchmark result cache and the EXPERIMENTS.md tables rely on.
+"""
+
+import pytest
+
+from repro.sim.config import small_test_config
+from repro.sim.simulator import simulate
+from repro.workloads.graph_algos import generate_graph_trace
+from repro.workloads.spec import generate_spec_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_graph_trace("bfs", num_cores=2, max_accesses=8000, graph_scale=0.1)
+
+
+@pytest.mark.parametrize("design", ["np", "morphctr", "cosmos", "emcc", "rmcc",
+                                    "cosmos-early", "cosmos-synergy"])
+def test_design_runs_are_bit_identical(design, trace):
+    config = small_test_config(num_cores=2)
+    first = simulate(design, trace, config, workload="bfs")
+    second = simulate(design, trace, config, workload="bfs")
+    assert first.cycles == second.cycles
+    assert first.total_latency == second.total_latency
+    assert first.ctr_miss_rate == second.ctr_miss_rate
+    assert first.traffic.as_dict() == second.traffic.as_dict()
+    assert first.extra == second.extra
+
+
+def test_exploration_is_seeded_not_global(trace):
+    """COSMOS's epsilon-greedy must not depend on global random state."""
+    import random
+
+    config = small_test_config(num_cores=2)
+    random.seed(111)
+    first = simulate("cosmos", trace, config, workload="bfs")
+    random.seed(999)
+    second = simulate("cosmos", trace, config, workload="bfs")
+    assert first.cycles == second.cycles
+
+
+def test_trace_generation_independent_of_global_seed():
+    import random
+
+    random.seed(1)
+    a = generate_spec_trace("mcf", num_cores=1, max_accesses=2000)
+    random.seed(2)
+    b = generate_spec_trace("mcf", num_cores=1, max_accesses=2000)
+    assert [x.address for x in a] == [x.address for x in b]
+
+
+def test_experiment_rows_reproducible(tmp_path, monkeypatch):
+    from repro.bench import experiments, runner
+
+    monkeypatch.setenv("REPRO_TRACE_LEN", "3000")
+    monkeypatch.setenv("REPRO_GRAPH_SCALE", "0.04")
+    monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "traces")
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+    first = experiments.figure2(workloads=["dfs"], quiet=True)
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+    second = experiments.figure2(workloads=["dfs"], quiet=True)
+    assert first == second
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()

@@ -1,0 +1,105 @@
+"""Unit tests for the DDR4 timing model."""
+
+from repro.mem.dram import DramModel, DramTimings
+
+
+def test_row_hit_cheaper_than_miss():
+    timings = DramTimings()
+    assert timings.row_hit_latency < timings.row_miss_latency
+
+
+def test_first_access_is_row_miss():
+    dram = DramModel()
+    latency = dram.request(0)
+    assert latency == dram.timings.row_miss_latency + dram.timings.queue_penalty
+    assert dram.stats.row_misses == 1
+
+
+def test_same_row_hits():
+    dram = DramModel()
+    dram.request(0)
+    # Same bank, same row: the very next block in that bank.
+    latency = dram.request(dram.num_banks)  # block 16 -> bank 0, same row
+    assert dram.stats.row_hits == 1
+    assert latency == dram.timings.row_hit_latency + dram.timings.queue_penalty
+
+
+def test_row_conflict_misses():
+    dram = DramModel()
+    rows_apart = dram.row_size_bytes // 64 * dram.num_banks
+    dram.request(0)
+    dram.request(rows_apart)  # same bank, different row
+    assert dram.stats.row_misses == 2
+
+
+def test_reads_writes_counted():
+    dram = DramModel()
+    dram.request(0)
+    dram.request(1, is_write=True)
+    assert dram.stats.reads == 1
+    assert dram.stats.writes == 1
+    assert dram.stats.requests == 2
+
+
+def test_streaming_has_high_row_hit_rate():
+    dram = DramModel()
+    for block in range(512):
+        dram.request(block)
+    assert dram.stats.row_hit_rate > 0.8
+
+
+def test_random_has_low_row_hit_rate():
+    import random
+
+    rng = random.Random(0)
+    dram = DramModel()
+    for _ in range(512):
+        dram.request(rng.randrange(1 << 24))
+    assert dram.stats.row_hit_rate < 0.2
+
+
+def test_average_latency_when_idle_defaults_to_worst():
+    dram = DramModel()
+    assert dram.average_latency() == float(
+        dram.timings.row_miss_latency + dram.timings.queue_penalty
+    )
+
+
+def test_multi_channel_interleaves_rows():
+    dram = DramModel(num_channels=2)
+    row_blocks = dram.row_size_bytes // 64
+    dram.request(0)                      # channel 0
+    dram.request(row_blocks)             # next row chunk -> channel 1
+    assert dram.stats.per_channel == {0: 1, 1: 1}
+
+
+def test_single_channel_uses_channel_zero():
+    dram = DramModel()
+    for block in range(0, 4096, 64):
+        dram.request(block)
+    assert set(dram.stats.per_channel) == {0}
+
+
+def test_invalid_channels():
+    import pytest
+
+    with pytest.raises(ValueError):
+        DramModel(num_channels=0)
+
+
+def test_channels_have_private_row_buffers():
+    dram = DramModel(num_channels=2)
+    row_blocks = dram.row_size_bytes // 64
+    dram.request(0)              # opens a row on channel 0
+    dram.request(row_blocks)     # opens a row on channel 1
+    latency = dram.request(1)    # back to channel 0: its row is still open
+    assert latency == dram.timings.row_hit_latency + dram.timings.queue_penalty
+
+
+def test_reset_clears_state():
+    dram = DramModel()
+    dram.request(0)
+    dram.reset()
+    assert dram.stats.requests == 0
+    latency = dram.request(0)
+    assert latency == dram.timings.row_miss_latency + dram.timings.queue_penalty

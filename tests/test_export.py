@@ -1,0 +1,68 @@
+"""Tests for the result export module."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.export import (
+    export_experiment,
+    read_json,
+    write_csv,
+    write_json,
+    write_markdown,
+)
+
+ROWS = [
+    {"workload": "dfs", "morphctr": 0.55, "cosmos": 0.67},
+    {"workload": "bfs", "morphctr": 0.52, "cosmos": 0.64, "extra": "note"},
+]
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = write_csv(ROWS, tmp_path / "out.csv")
+    with open(path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows[0]["workload"] == "dfs"
+    assert float(rows[1]["cosmos"]) == 0.64
+    assert rows[0]["extra"] == ""  # union of columns
+
+
+def test_write_json_envelope(tmp_path):
+    path = write_json(ROWS, tmp_path / "out.json", experiment="fig10")
+    document = json.loads(path.read_text())
+    assert document["experiment"] == "fig10"
+    assert document["rows"][0]["morphctr"] == 0.55
+
+
+def test_read_json_roundtrip(tmp_path):
+    path = write_json(ROWS, tmp_path / "out.json")
+    assert read_json(path) == ROWS
+
+
+def test_write_markdown_table(tmp_path):
+    path = write_markdown(ROWS, tmp_path / "out.md", title="Figure 10")
+    text = path.read_text()
+    assert text.startswith("# Figure 10")
+    assert "| workload |" in text
+    assert "| dfs |" in text
+    assert "0.55" in text
+
+
+def test_export_experiment_all_formats(tmp_path):
+    written = export_experiment(ROWS, tmp_path / "results", "fig10",
+                                formats=("csv", "json", "md"))
+    assert sorted(path.suffix for path in written) == [".csv", ".json", ".md"]
+    for path in written:
+        assert path.exists()
+
+
+def test_export_unknown_format(tmp_path):
+    with pytest.raises(ValueError):
+        export_experiment(ROWS, tmp_path, "x", formats=("xlsx",))
+
+
+def test_directories_created(tmp_path):
+    nested = tmp_path / "a" / "b" / "out.csv"
+    write_csv(ROWS, nested)
+    assert nested.exists()

@@ -1,0 +1,100 @@
+"""Behavioural checks per graph kernel: each touches what it should."""
+
+import pytest
+
+from repro.workloads.graph import GraphMemoryLayout, preferential_attachment_graph
+from repro.workloads.graph_algos import generate_graph_trace
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_graph(400, edges_per_vertex=4, seed=21)
+
+
+def region_hits(trace, layout, region_name):
+    base, size = layout.allocator.regions[region_name]
+    return sum(1 for access in trace if base <= access.address < base + size)
+
+
+def layout_for(trace_kernel, graph):
+    """Rebuild the layout the generator used (deterministic)."""
+    layout = GraphMemoryLayout(graph)
+    for prop in ("visited", "rank", "rank_next", "out_degree", "color",
+                 "triangles", "label", "dist", "centrality"):
+        layout.property_array(prop)
+    return layout
+
+
+@pytest.mark.parametrize("kernel,props", [
+    ("bfs", ["prop:visited"]),
+    ("dfs", ["prop:visited"]),
+    ("pr", ["prop:rank", "prop:rank_next", "prop:out_degree"]),
+    ("gc", ["prop:color"]),
+    ("cc", ["prop:label"]),
+    ("sp", ["prop:dist"]),
+    ("dc", ["prop:centrality"]),
+])
+def test_kernels_touch_their_property_arrays(kernel, props, graph):
+    trace = generate_graph_trace(kernel, graph=graph, num_cores=1, max_accesses=6000)
+    layout = layout_for(kernel, graph)
+    for prop in props:
+        assert region_hits(trace, layout, prop) > 0, f"{kernel} never touched {prop}"
+
+
+@pytest.mark.parametrize("kernel", ["bfs", "dfs", "pr", "gc", "tc", "cc", "sp", "dc"])
+def test_kernels_read_adjacency(kernel, graph):
+    trace = generate_graph_trace(kernel, graph=graph, num_cores=1, max_accesses=6000)
+    layout = layout_for(kernel, graph)
+    assert region_hits(trace, layout, "edge_pool") > 0
+    assert region_hits(trace, layout, "row_ptr") > 0
+
+
+def test_pr_writes_rank_next_not_visited(graph):
+    trace = generate_graph_trace("pr", graph=graph, num_cores=1, max_accesses=6000)
+    layout = layout_for("pr", graph)
+    base, size = layout.allocator.regions["prop:rank_next"]
+    writes = sum(
+        1 for access in trace
+        if access.is_write and base <= access.address < base + size
+    )
+    assert writes > 0
+    visited_base, visited_size = layout.allocator.regions["prop:visited"]
+    visited_touches = sum(
+        1 for access in trace
+        if visited_base <= access.address < visited_base + visited_size
+    )
+    assert visited_touches == 0  # PageRank has no visited array
+
+
+def test_sp_writes_distances(graph):
+    trace = generate_graph_trace("sp", graph=graph, num_cores=1, max_accesses=6000)
+    layout = layout_for("sp", graph)
+    base, size = layout.allocator.regions["prop:dist"]
+    writes = sum(
+        1 for access in trace
+        if access.is_write and base <= access.address < base + size
+    )
+    assert writes > 0
+
+
+def test_dc_is_mostly_reads(graph):
+    trace = generate_graph_trace("dc", graph=graph, num_cores=1, max_accesses=6000)
+    assert trace.write_fraction < 0.2  # one centrality write per vertex
+
+
+def test_tc_reads_dominate(graph):
+    trace = generate_graph_trace("tc", graph=graph, num_cores=1, max_accesses=6000)
+    assert trace.write_fraction < 0.05  # triangle counting only tallies
+
+
+def test_all_addresses_within_allocated_regions(graph):
+    trace = generate_graph_trace("bfs", graph=graph, num_cores=2, max_accesses=4000)
+    layout = layout_for("bfs", graph)
+    # Scratch regions are allocated after the shared structures; anything
+    # the trace touches must be below the allocator's high-water mark plus
+    # per-core scratch.
+    from repro.workloads.trace import HEAP_BASE
+
+    upper = HEAP_BASE + layout.footprint_bytes + 2 * 128 * 1024
+    for access in trace.accesses[:2000]:
+        assert HEAP_BASE <= access.address < upper

@@ -1,0 +1,63 @@
+"""Unit tests for the splitmix64 state hashing."""
+
+import pytest
+
+from repro.core.hashing import (
+    DEFAULT_NUM_STATES,
+    address_state_bits,
+    hash_address,
+    hash_block,
+    splitmix64,
+)
+
+
+def test_splitmix64_is_deterministic():
+    assert splitmix64(12345) == splitmix64(12345)
+
+
+def test_splitmix64_stays_64_bit():
+    for value in (0, 1, (1 << 64) - 1, 0xDEADBEEF):
+        assert 0 <= splitmix64(value) < (1 << 64)
+
+
+def test_splitmix64_avalanche():
+    # Single-bit input changes flip many output bits.
+    a = splitmix64(0)
+    b = splitmix64(1)
+    assert bin(a ^ b).count("1") > 16
+
+
+def test_address_state_bits_drop_block_offset():
+    assert address_state_bits(0x1234) == address_state_bits(0x1234 | 0x3F & 0x3F) or True
+    # Bits 0-5 are ignored:
+    assert address_state_bits(0x1000) == address_state_bits(0x103F)
+    assert address_state_bits(0x1000) != address_state_bits(0x1040)
+
+
+def test_address_state_bits_cap_at_bit_47():
+    assert address_state_bits(1 << 48) == 0
+
+
+def test_hash_address_range():
+    for address in (0, 64, 4096, 1 << 40):
+        assert 0 <= hash_address(address) < DEFAULT_NUM_STATES
+
+
+def test_hash_block_consistent_with_hash_address():
+    address = 0x12340
+    assert hash_address(address) == hash_block(address >> 6)
+
+
+def test_hash_distribution_roughly_uniform():
+    buckets = [0] * 64
+    for block in range(64 * 500):
+        buckets[hash_block(block, 64)] += 1
+    assert min(buckets) > 300
+    assert max(buckets) < 700
+
+
+def test_invalid_num_states():
+    with pytest.raises(ValueError):
+        hash_address(0, num_states=0)
+    with pytest.raises(ValueError):
+        hash_block(0, num_states=-5)

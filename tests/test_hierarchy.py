@@ -1,0 +1,115 @@
+"""Unit tests for the multi-core cache hierarchy."""
+
+import pytest
+
+from repro.mem.access import AccessType, MemoryAccess
+from repro.mem.hierarchy import HierarchyConfig, LevelConfig, MemoryHierarchy
+
+
+def small_hierarchy(cores=1, sink=None):
+    config = HierarchyConfig(
+        num_cores=cores,
+        l1=LevelConfig(2 * 1024, 2, 2),
+        l2=LevelConfig(8 * 1024, 4, 20),
+        llc=LevelConfig(32 * 1024, 8, 128),
+    )
+    return MemoryHierarchy(config, memory_write_sink=sink)
+
+
+def test_default_config_matches_table3():
+    config = HierarchyConfig()
+    assert config.num_cores == 4
+    assert config.l1.size_bytes == 32 * 1024 and config.l1.assoc == 2 and config.l1.latency == 2
+    assert config.l2.size_bytes == 1024 * 1024 and config.l2.assoc == 8 and config.l2.latency == 20
+    assert config.llc.size_bytes == 8 * 1024 * 1024 and config.llc.assoc == 16
+    assert config.llc.latency == 128
+
+
+def test_cold_access_goes_to_memory():
+    hierarchy = small_hierarchy()
+    result = hierarchy.access(MemoryAccess(0))
+    assert result.hit_level == "MEM"
+    assert result.needs_memory
+    assert result.l1_miss
+    assert result.lookup_latency == 2 + 20 + 128
+
+
+def test_second_access_hits_l1():
+    hierarchy = small_hierarchy()
+    hierarchy.access(MemoryAccess(0))
+    result = hierarchy.access(MemoryAccess(0))
+    assert result.hit_level == "L1"
+    assert result.lookup_latency == 2
+    assert not result.l1_miss
+
+
+def test_l1_capacity_spill_hits_l2():
+    hierarchy = small_hierarchy()
+    l1_lines = hierarchy.l1[0].capacity_lines
+    for block in range(l1_lines * 2):
+        hierarchy.access(MemoryAccess(block * 64))
+    result = hierarchy.access(MemoryAccess(0))
+    assert result.hit_level in ("L2", "L1")  # evicted from L1 but still in L2
+    if result.hit_level == "L2":
+        assert result.lookup_latency == 22
+
+
+def test_llc_shared_across_cores():
+    hierarchy = small_hierarchy(cores=2)
+    hierarchy.access(MemoryAccess(0, core=0))
+    result = hierarchy.access(MemoryAccess(0, core=1))
+    # Core 1's private caches miss, but the shared LLC hits.
+    assert result.hit_level == "LLC"
+
+
+def test_core_out_of_range_rejected():
+    hierarchy = small_hierarchy(cores=1)
+    with pytest.raises(ValueError):
+        hierarchy.access(MemoryAccess(0, core=5))
+
+
+def test_probe_on_chip_matches_state():
+    hierarchy = small_hierarchy()
+    assert not hierarchy.probe_on_chip(0, core=0)
+    hierarchy.access(MemoryAccess(0))
+    assert hierarchy.probe_on_chip(0, core=0)
+
+
+def test_dirty_llc_eviction_reaches_sink():
+    written = []
+    hierarchy = small_hierarchy(sink=written.append)
+    llc_lines = hierarchy.llc.capacity_lines
+    hierarchy.access(MemoryAccess(0, AccessType.WRITE))
+    # Fill well past every level so block 0 is evicted from all of them.
+    for block in range(1, llc_lines * 3):
+        hierarchy.access(MemoryAccess(block * 64))
+    assert 0 in written
+
+
+def test_flush_writes_back_dirty_lines():
+    written = []
+    hierarchy = small_hierarchy(sink=written.append)
+    hierarchy.access(MemoryAccess(0, AccessType.WRITE))
+    hierarchy.flush()
+    assert written.count(0) >= 1
+
+
+def test_miss_rates_aggregate():
+    hierarchy = small_hierarchy(cores=2)
+    for core in range(2):
+        for block in range(10):
+            hierarchy.access(MemoryAccess(block * 64, core=core))
+    assert 0.0 < hierarchy.l1_miss_rate() <= 1.0
+    assert hierarchy.llc_miss_rate() <= 1.0
+
+
+def test_scaled_llc_for_cores():
+    config = HierarchyConfig(num_cores=8)
+    scaled = config.scaled_llc_for_cores()
+    assert scaled.llc.size_bytes == 16 * 1024 * 1024  # paper Fig. 15: 8 cores, 16MB
+    assert scaled.num_cores == 8
+
+
+def test_zero_cores_rejected():
+    with pytest.raises(ValueError):
+        MemoryHierarchy(HierarchyConfig(num_cores=0))

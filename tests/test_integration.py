@@ -1,0 +1,155 @@
+"""End-to-end integration tests across modules.
+
+Two kinds of integration are exercised:
+
+1. *Functional security*: a miniature protected memory built from the real
+   AES-CTR engine, counters, MAC store and Merkle tree — writes encrypt,
+   reads decrypt and authenticate, and tampering/replay is detected.
+2. *Simulation*: full designs driven by real workload traces, checking the
+   cross-design relationships the paper's evaluation depends on.
+"""
+
+import pytest
+
+from repro.mem.access import AccessType, MemoryAccess
+from repro.secure.aes import AesCtrEngine
+from repro.secure.counters import MorphCtrCounters
+from repro.secure.mac import MacStore
+from repro.secure.merkle import MerkleTree
+from repro.sim.simulator import simulate
+
+
+class ProtectedMemory:
+    """A tiny functional secure memory: the paper's Fig. 1 data path."""
+
+    def __init__(self, num_blocks=1024):
+        self.aes = AesCtrEngine()
+        self.counters = MorphCtrCounters()
+        self.macs = MacStore()
+        self.tree = MerkleTree(max(1, num_blocks // 128), arity=2)
+        self.dram = {}
+
+    def _ctr_payload(self, ctr_index):
+        # Serialise the counter line's state for the integrity tree.
+        base = ctr_index * 128
+        values = tuple(self.counters.counter_value(base + i) for i in range(128))
+        return repr(values).encode()
+
+    def write(self, block, plaintext):
+        self.counters.increment(block)
+        counter = self.counters.counter_value(block)
+        ciphertext = self.aes.encrypt(plaintext, block << 6, counter)
+        self.dram[block] = ciphertext
+        self.macs.update(block, ciphertext, counter)
+        ctr_index = self.counters.ctr_index(block)
+        self.tree.update_leaf(ctr_index, self._ctr_payload(ctr_index))
+
+    def read(self, block):
+        ciphertext = self.dram[block]
+        counter = self.counters.counter_value(block)
+        ctr_index = self.counters.ctr_index(block)
+        if not self.tree.verify_leaf(ctr_index, self._ctr_payload(ctr_index)):
+            raise SecurityError("counter integrity violation")
+        if not self.macs.verify(block, ciphertext, counter):
+            raise SecurityError("MAC mismatch")
+        return self.aes.decrypt(ciphertext, block << 6, counter)
+
+
+class SecurityError(Exception):
+    pass
+
+
+class TestFunctionalSecureMemory:
+    def test_write_read_roundtrip(self):
+        memory = ProtectedMemory()
+        memory.write(5, b"A" * 64)
+        assert memory.read(5) == b"A" * 64
+
+    def test_many_blocks_and_overwrites(self):
+        memory = ProtectedMemory()
+        for block in range(50):
+            memory.write(block, bytes([block]) * 64)
+        for block in range(50):
+            memory.write(block, bytes([block ^ 0xFF]) * 64)
+        for block in range(50):
+            assert memory.read(block) == bytes([block ^ 0xFF]) * 64
+
+    def test_ciphertext_differs_from_plaintext(self):
+        memory = ProtectedMemory()
+        memory.write(1, b"B" * 64)
+        assert memory.dram[1] != b"B" * 64
+
+    def test_rewrite_changes_ciphertext(self):
+        """Counter-mode freshness: same plaintext encrypts differently."""
+        memory = ProtectedMemory()
+        memory.write(1, b"C" * 64)
+        first = memory.dram[1]
+        memory.write(1, b"C" * 64)
+        assert memory.dram[1] != first
+
+    def test_tampered_ciphertext_detected(self):
+        memory = ProtectedMemory()
+        memory.write(2, b"D" * 64)
+        memory.dram[2] = bytes([memory.dram[2][0] ^ 1]) + memory.dram[2][1:]
+        with pytest.raises(SecurityError):
+            memory.read(2)
+
+    def test_replayed_data_detected(self):
+        """A replay of old ciphertext fails the MAC (stale counter)."""
+        memory = ProtectedMemory()
+        memory.write(3, b"old-value" + b"\x00" * 55)
+        stale = memory.dram[3]
+        memory.write(3, b"new-value" + b"\x00" * 55)
+        memory.dram[3] = stale
+        with pytest.raises(SecurityError):
+            memory.read(3)
+
+    def test_counter_tampering_detected_by_tree(self):
+        memory = ProtectedMemory()
+        memory.write(4, b"E" * 64)
+        ctr_index = memory.counters.ctr_index(4)
+        memory.tree.tamper_leaf(ctr_index, b"\x00" * 32)
+        with pytest.raises(SecurityError):
+            memory.read(4)
+
+
+class TestSimulationIntegration:
+    def test_protection_costs_performance(self, tiny_config, dfs_trace):
+        np_result = simulate("np", dfs_trace, tiny_config)
+        secure = simulate("morphctr", dfs_trace, tiny_config)
+        assert secure.normalized_to(np_result) < 1.0
+        assert secure.traffic.total > np_result.traffic.total
+
+    def test_mt_reads_track_ctr_misses(self, tiny_config, dfs_trace):
+        secure = simulate("morphctr", dfs_trace, tiny_config)
+        assert secure.traffic.mt_reads > 0
+        assert secure.traffic.ctr_reads > 0
+        # Every MT read belongs to a CTR fetch; ratio bounded by tree depth.
+        assert secure.traffic.mt_reads <= secure.traffic.ctr_reads * 30
+
+    def test_identical_hierarchy_behaviour_across_designs(self, tiny_config, dfs_trace):
+        """Designs must not perturb the data-side cache behaviour."""
+        np_result = simulate("np", dfs_trace, tiny_config)
+        secure = simulate("morphctr", dfs_trace, tiny_config)
+        cosmos = simulate("cosmos", dfs_trace, tiny_config)
+        assert np_result.l1_miss_rate == secure.l1_miss_rate == cosmos.l1_miss_rate
+        assert np_result.llc_miss_rate == secure.llc_miss_rate == cosmos.llc_miss_rate
+
+    def test_cosmos_never_slower_than_baseline_on_regular(self, tiny_config):
+        from repro.workloads.ml import generate_ml_trace
+
+        trace = generate_ml_trace("mlp", num_cores=1, max_accesses=20_000, scale=0.01)
+        base = simulate("morphctr", trace, tiny_config)
+        cosmos = simulate("cosmos", trace, tiny_config)
+        # Paper Sec. 6.3: no regression on regular workloads (allow noise).
+        assert cosmos.speedup_over(base) > 0.95
+
+    def test_multicore_trace_through_multicore_design(self, quad_config):
+        from repro.workloads.graph import preferential_attachment_graph
+        from repro.workloads.graph_algos import generate_graph_trace
+
+        graph = preferential_attachment_graph(400, edges_per_vertex=4, seed=2)
+        trace = generate_graph_trace("bfs", graph=graph, num_cores=4, max_accesses=8000)
+        result = simulate("cosmos", trace, quad_config, workload="bfs")
+        assert result.accesses == 8000
+        assert result.ipc > 0

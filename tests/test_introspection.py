@@ -1,0 +1,126 @@
+"""Tests for the RL introspection utilities."""
+
+import pytest
+
+from repro.core.introspection import policy_agreement, q_value_histogram, snapshot_policy
+from repro.core.rl import QTable
+
+
+def trained_table(states=8, bias_action=1):
+    table = QTable(states, 2)
+    for state in range(states // 2):  # train half the states
+        table.update(state, bias_action, reward=20, alpha=1.0, gamma=0.0)
+    return table
+
+
+class TestSnapshot:
+    def test_untrained_table(self):
+        snapshot = snapshot_policy(QTable(16, 2))
+        assert snapshot.coverage == 0.0
+        assert snapshot.mean_abs_q == 0.0
+        assert snapshot.mean_margin == 0.0
+        assert snapshot.dominant_action == 0  # ties resolve low
+
+    def test_coverage_counts_touched_states(self):
+        snapshot = snapshot_policy(trained_table(states=8))
+        assert snapshot.coverage == pytest.approx(0.5)
+        assert snapshot.touched_states == 4
+
+    def test_action_counts_sum_to_states(self):
+        snapshot = snapshot_policy(trained_table(states=10))
+        assert sum(snapshot.action_counts) == 10
+
+    def test_dominant_action_tracks_training(self):
+        table = QTable(4, 2)
+        for state in range(4):
+            table.update(state, 1, reward=30, alpha=1.0, gamma=0.0)
+        assert snapshot_policy(table).dominant_action == 1
+
+    def test_entropy_zero_when_unanimous(self):
+        table = QTable(4, 2)
+        for state in range(4):
+            table.update(state, 0, reward=10, alpha=1.0, gamma=0.0)
+        assert snapshot_policy(table).decision_entropy_bits == 0.0
+
+    def test_entropy_one_bit_when_split(self):
+        table = QTable(4, 2)
+        for state in (0, 1):
+            table.update(state, 1, reward=10, alpha=1.0, gamma=0.0)
+        # States 2, 3 default to action 0; 2/2 split -> 1 bit.
+        assert snapshot_policy(table).decision_entropy_bits == pytest.approx(1.0)
+
+    def test_margin_reflects_confidence(self):
+        confident = QTable(2, 2)
+        confident.update(0, 1, reward=100, alpha=1.0, gamma=0.0)
+        confident.update(1, 1, reward=100, alpha=1.0, gamma=0.0)
+        timid = QTable(2, 2)
+        timid.update(0, 1, reward=1, alpha=1.0, gamma=0.0)
+        assert (
+            snapshot_policy(confident).mean_margin
+            > snapshot_policy(timid).mean_margin
+        )
+
+
+class TestHistogram:
+    def test_counts_cover_all_values(self):
+        table = trained_table(states=8)
+        histogram = q_value_histogram(table, bins=4)
+        assert sum(histogram["counts"]) == 8 * 2
+        assert len(histogram["edges"]) == 5
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            q_value_histogram(QTable(2, 2), bins=0)
+
+    def test_edges_monotone(self):
+        histogram = q_value_histogram(trained_table(), bins=8)
+        edges = histogram["edges"]
+        assert edges == sorted(edges)
+
+
+class TestAgreement:
+    def test_identical_tables_agree(self):
+        table = trained_table()
+        assert policy_agreement(table, table) == 1.0
+
+    def test_opposite_tables_disagree(self):
+        a = QTable(4, 2)
+        b = QTable(4, 2)
+        for state in range(4):
+            a.update(state, 0, reward=10, alpha=1.0, gamma=0.0)
+            b.update(state, 1, reward=10, alpha=1.0, gamma=0.0)
+        assert policy_agreement(a, b) == 0.0
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            policy_agreement(QTable(2, 2), QTable(4, 2))
+
+    def test_agreement_rises_as_policy_stabilises(self):
+        """End-to-end: checkpoints converge on a stationary workload."""
+        import copy
+        import random
+
+        from repro.core.config import CosmosConfig, Hyperparameters
+        from repro.core.location_predictor import DataLocationPredictor
+
+        # Few distinct blocks relative to states keeps each hashed state
+        # pure (all-on-chip or all-off-chip), so the policy can stabilise.
+        predictor = DataLocationPredictor(
+            CosmosConfig(num_states=1024, hyper=Hyperparameters(epsilon_d=0.05))
+        )
+        rng = random.Random(0)
+
+        def run(n):
+            for _ in range(n):
+                block = rng.randrange(256)
+                action, state = predictor.predict(block)
+                predictor.train(state, action, actually_on_chip=block < 128)
+
+        run(1000)
+        early = copy.deepcopy(predictor.q_table)
+        run(4000)
+        mid = copy.deepcopy(predictor.q_table)
+        run(4000)
+        late = predictor.q_table
+        assert policy_agreement(mid, late) >= policy_agreement(early, late) - 0.05
+        assert policy_agreement(mid, late) > 0.8

@@ -1,0 +1,104 @@
+"""Unit tests for the LCR replacement policy (Algorithm 2 + aging)."""
+
+import pytest
+
+from repro.core.lcr_cache import FLAG_BAD, FLAG_GOOD, LcrReplacementPolicy
+from repro.mem.replacement import CacheLine
+
+
+def tagged_line(tag, flag, score, tick=0):
+    line = CacheLine(tag)
+    line.locality_flag = flag
+    line.locality_score = score
+    line.lru_tick = tick
+    return line
+
+
+def test_bad_lines_evicted_before_good():
+    policy = LcrReplacementPolicy(aging=0)
+    lines = [tagged_line(0, FLAG_GOOD, 1), tagged_line(1, FLAG_BAD, 1)]
+    assert policy.victim(0, lines).tag == 1
+
+
+def test_strict_mode_picks_highest_bad_score():
+    policy = LcrReplacementPolicy(aging=0, bad_selection="score")
+    lines = [
+        tagged_line(0, FLAG_BAD, 10),
+        tagged_line(1, FLAG_BAD, 90),
+        tagged_line(2, FLAG_BAD, 50),
+    ]
+    assert policy.victim(0, lines).tag == 1
+
+
+def test_lru_mode_picks_oldest_bad():
+    policy = LcrReplacementPolicy(aging=0, bad_selection="lru")
+    lines = [
+        tagged_line(0, FLAG_BAD, 10, tick=5),
+        tagged_line(1, FLAG_BAD, 90, tick=1),
+        tagged_line(2, FLAG_BAD, 50, tick=9),
+    ]
+    assert policy.victim(0, lines).tag == 1
+
+
+def test_all_good_evicts_lowest_score():
+    policy = LcrReplacementPolicy(aging=0)
+    lines = [
+        tagged_line(0, FLAG_GOOD, 70),
+        tagged_line(1, FLAG_GOOD, 5),
+        tagged_line(2, FLAG_GOOD, 30),
+    ]
+    assert policy.victim(0, lines).tag == 1
+
+
+def test_aging_demotes_stale_good_lines():
+    policy = LcrReplacementPolicy(aging=10, aging_period=1)
+    good = tagged_line(0, FLAG_GOOD, 5)
+    bad = tagged_line(1, FLAG_BAD, 1)
+    policy.victim(0, [good, bad])  # decays good score 5 -> -5 -> demoted
+    assert good.locality_flag == FLAG_BAD
+    assert good.locality_score == 0
+
+
+def test_aging_period_delays_decay():
+    policy = LcrReplacementPolicy(aging=10, aging_period=3)
+    good = tagged_line(0, FLAG_GOOD, 15)
+    bad = tagged_line(1, FLAG_BAD, 1)
+    policy.victim(0, [good, bad])
+    policy.victim(0, [good, bad])
+    assert good.locality_score == 15  # not yet
+    policy.victim(0, [good, bad])
+    assert good.locality_score == 5  # third call decays once
+
+
+def test_aging_is_per_set():
+    policy = LcrReplacementPolicy(aging=10, aging_period=2)
+    good = tagged_line(0, FLAG_GOOD, 15)
+    bad = tagged_line(1, FLAG_BAD, 1)
+    policy.victim(0, [good, bad])
+    policy.victim(1, [good, bad])  # different set: separate pressure counter
+    assert good.locality_score == 15
+
+
+def test_on_hit_refreshes_recency():
+    policy = LcrReplacementPolicy(aging=0, bad_selection="lru")
+    a = tagged_line(0, FLAG_BAD, 1)
+    b = tagged_line(1, FLAG_BAD, 1)
+    policy.on_insert(0, a)
+    policy.on_insert(0, b)
+    policy.on_hit(0, a)
+    assert policy.victim(0, [a, b]).tag == 1
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        LcrReplacementPolicy(aging=-1)
+    with pytest.raises(ValueError):
+        LcrReplacementPolicy(aging_period=0)
+    with pytest.raises(ValueError):
+        LcrReplacementPolicy(bad_selection="fifo")
+
+
+def test_empty_set_asserts():
+    policy = LcrReplacementPolicy()
+    with pytest.raises(AssertionError):
+        policy.victim(0, [])

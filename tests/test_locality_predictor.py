@@ -1,0 +1,91 @@
+"""Unit tests for the RL-based CTR locality predictor (Algorithm 1)."""
+
+from repro.core.config import CosmosConfig, Hyperparameters
+from repro.core.locality_predictor import (
+    BAD_LOCALITY,
+    GOOD_LOCALITY,
+    CtrLocalityPredictor,
+)
+
+
+def make_predictor(cet_entries=64, epsilon=0.0, **hyper_kwargs):
+    hyper = Hyperparameters(epsilon_c=epsilon, **hyper_kwargs)
+    config = CosmosConfig(num_states=1024, cet_entries=cet_entries, hyper=hyper)
+    return CtrLocalityPredictor(config)
+
+
+def test_prediction_returns_action_and_score():
+    predictor = make_predictor()
+    action, score = predictor.predict(5)
+    assert action in (GOOD_LOCALITY, BAD_LOCALITY)
+    assert isinstance(score, int)
+
+
+def test_repeated_line_learns_good_locality():
+    predictor = make_predictor()
+    for _ in range(300):
+        predictor.predict(42)
+    action, _ = predictor.predict(42)
+    assert action == GOOD_LOCALITY
+
+
+def test_streaming_lines_learn_bad_locality():
+    predictor = make_predictor(cet_entries=16)
+    action = None
+    for block in range(3000):
+        action, _ = predictor.predict(block * 100)  # never re-accessed
+    # After the stream, a fresh cold line should be classified bad.
+    action, _ = predictor.predict(10_000_000)
+    assert action == BAD_LOCALITY
+
+
+def test_good_fraction_tracks_stream_mix(dfs_trace=None):
+    predictor = make_predictor(cet_entries=64)
+    # Alternate a hot line with a cold stream: hot accesses should push the
+    # good fraction above zero but far below one.
+    for index in range(2000):
+        predictor.predict(7)
+        predictor.predict(1000 + index * 50)
+    fraction = predictor.stats.good_fraction
+    assert 0.0 < fraction < 1.0
+
+
+def test_cet_eviction_rewards_applied():
+    predictor = make_predictor(cet_entries=4)
+    for block in range(100):
+        predictor.predict(block * 10)
+    assert predictor.stats.cet_evictions > 0
+
+
+def test_stats_accounting_consistent():
+    predictor = make_predictor()
+    for block in range(50):
+        predictor.predict(block)
+    stats = predictor.stats
+    assert stats.predictions == 50
+    assert stats.cet_hits + stats.cet_misses == 50
+    assert stats.rewarded_correct + stats.rewarded_incorrect == 50
+
+
+def test_grading_accuracy_in_unit_range():
+    predictor = make_predictor()
+    for block in range(200):
+        predictor.predict(block % 10)
+    assert 0.0 <= predictor.stats.grading_accuracy <= 1.0
+
+
+def test_spatially_nearby_lines_count_as_good_evidence():
+    predictor = make_predictor()
+    predictor.predict(100)
+    # The +/-1-line radius makes 101 a CET "hit" (good-locality evidence).
+    before = predictor.stats.cet_hits
+    predictor.predict(101)
+    assert predictor.stats.cet_hits == before + 1
+
+
+def test_deterministic_with_seed():
+    a = make_predictor(epsilon=0.1)
+    b = make_predictor(epsilon=0.1)
+    out_a = [a.predict(block % 13)[0] for block in range(200)]
+    out_b = [b.predict(block % 13)[0] for block in range(200)]
+    assert out_a == out_b

@@ -1,0 +1,60 @@
+"""Unit tests for the Table 2 storage-overhead model."""
+
+from repro.core.config import CosmosConfig
+from repro.core.overhead import (
+    CET_ENTRY_BITS,
+    LCR_EXTRA_BITS_PER_LINE,
+    Q_TABLE_ENTRY_BITS,
+    compute_overhead,
+)
+
+
+def test_q_tables_are_32kb_each():
+    report = compute_overhead()
+    q_tables = [c for c in report.components if "Q-Table" in c.name]
+    assert len(q_tables) == 2
+    for component in q_tables:
+        assert component.kilobytes == 32.0  # 16384 x 16 bits (Table 2)
+
+
+def test_cet_matches_paper_arithmetic():
+    report = compute_overhead()
+    cet = next(c for c in report.components if c.name == "CET")
+    assert cet.bits == 8192 * CET_ENTRY_BITS
+    # 8192 x 65 bits = 66,560 bytes; the paper rounds this to "66KB".
+    assert 64.9 < cet.kilobytes < 65.1
+
+
+def test_constants_match_table2():
+    assert Q_TABLE_ENTRY_BITS == 16
+    assert CET_ENTRY_BITS == 65  # 64-bit address + 1-bit prediction
+    assert LCR_EXTRA_BITS_PER_LINE == 9  # 8-bit score + 1-bit flag
+
+
+def test_total_close_to_paper_147kb():
+    report = compute_overhead()
+    # 32 + 32 + 65 KB plus the per-line LCR bits: the paper reports 147KB.
+    assert 125 < report.total_kilobytes < 150
+
+
+def test_fraction_of_llc_about_2_percent():
+    report = compute_overhead()
+    assert 0.01 < report.fraction_of_llc(8 * 1024 * 1024) < 0.025
+
+
+def test_paper_area_power_totals():
+    report = compute_overhead()
+    assert abs(report.total_area_mm2 - 0.260) < 1e-9
+    assert abs(report.total_power_mw - 206.64) < 0.02  # 45.29*2 + 92 + 24.06
+
+
+def test_scales_with_configuration():
+    small = compute_overhead(CosmosConfig(num_states=1024, cet_entries=256))
+    large = compute_overhead(CosmosConfig(num_states=65536, cet_entries=16384))
+    assert small.total_bits < large.total_bits
+
+
+def test_rows_include_total():
+    rows = compute_overhead().as_rows()
+    assert rows[-1]["component"] == "total"
+    assert len(rows) == 5  # 4 components + total

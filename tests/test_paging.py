@@ -1,0 +1,107 @@
+"""Tests for the virtual-to-physical page mappers."""
+
+import pytest
+
+from repro.mem.access import MemoryAccess
+from repro.mem.paging import (
+    PAGE_SIZE,
+    FirstTouchPageMapper,
+    IdentityPageMapper,
+    RandomizedPageMapper,
+    remap_accesses,
+)
+
+
+def test_identity_is_noop():
+    mapper = IdentityPageMapper()
+    for address in (0, 4095, 4096, 1 << 30):
+        assert mapper.translate(address) == address
+
+
+class TestFirstTouch:
+    def test_dense_packing_in_touch_order(self):
+        mapper = FirstTouchPageMapper()
+        a = mapper.translate(10 * PAGE_SIZE)  # first touch -> frame 0
+        b = mapper.translate(99 * PAGE_SIZE)  # second touch -> frame 1
+        assert a == 0
+        assert b == PAGE_SIZE
+
+    def test_offset_preserved(self):
+        mapper = FirstTouchPageMapper()
+        assert mapper.translate(10 * PAGE_SIZE + 123) % PAGE_SIZE == 123
+
+    def test_stable_mapping(self):
+        mapper = FirstTouchPageMapper()
+        first = mapper.translate(5 * PAGE_SIZE + 7)
+        again = mapper.translate(5 * PAGE_SIZE + 7)
+        assert first == again
+        assert mapper.mapped_pages == 1
+
+    def test_base_frame(self):
+        mapper = FirstTouchPageMapper(base_frame=100)
+        assert mapper.translate(0) == 100 * PAGE_SIZE
+
+
+class TestRandomized:
+    def test_collision_free(self):
+        mapper = RandomizedPageMapper(seed=1)
+        frames = {mapper.translate(vpn * PAGE_SIZE) >> 12 for vpn in range(2000)}
+        assert len(frames) == 2000
+
+    def test_deterministic_per_seed(self):
+        a = RandomizedPageMapper(seed=3)
+        b = RandomizedPageMapper(seed=3)
+        for vpn in range(100):
+            assert a.translate(vpn * PAGE_SIZE) == b.translate(vpn * PAGE_SIZE)
+
+    def test_seeds_differ(self):
+        a = RandomizedPageMapper(seed=1)
+        b = RandomizedPageMapper(seed=2)
+        outputs_a = [a.translate(vpn * PAGE_SIZE) for vpn in range(50)]
+        outputs_b = [b.translate(vpn * PAGE_SIZE) for vpn in range(50)]
+        assert outputs_a != outputs_b
+
+    def test_offset_preserved(self):
+        mapper = RandomizedPageMapper(seed=5)
+        assert mapper.translate(PAGE_SIZE + 61) % PAGE_SIZE == 61
+
+    def test_frame_exhaustion(self):
+        mapper = RandomizedPageMapper(seed=0, frame_space=4)
+        for vpn in range(4):
+            mapper.translate(vpn * PAGE_SIZE)
+        with pytest.raises(RuntimeError):
+            mapper.translate(99 * PAGE_SIZE)
+
+    def test_invalid_frame_space(self):
+        with pytest.raises(ValueError):
+            RandomizedPageMapper(frame_space=0)
+
+    def test_breaks_cross_page_contiguity(self):
+        """Adjacent virtual pages land far apart physically (usually)."""
+        mapper = RandomizedPageMapper(seed=7)
+        adjacent = 0
+        for vpn in range(0, 200, 2):
+            a = mapper.translate(vpn * PAGE_SIZE) >> 12
+            b = mapper.translate((vpn + 1) * PAGE_SIZE) >> 12
+            if abs(a - b) == 1:
+                adjacent += 1
+        assert adjacent < 5
+
+
+def test_remap_accesses_preserves_type_and_core():
+    from repro.mem.access import AccessType
+
+    mapper = FirstTouchPageMapper()
+    accesses = [MemoryAccess(123, AccessType.WRITE, 2), MemoryAccess(PAGE_SIZE + 1)]
+    remapped = remap_accesses(accesses, mapper)
+    assert remapped[0].type == AccessType.WRITE
+    assert remapped[0].core == 2
+    assert remapped[0].address % PAGE_SIZE == 123
+    assert len(remapped) == 2
+
+
+def test_remap_same_page_same_frame():
+    mapper = RandomizedPageMapper(seed=1)
+    accesses = [MemoryAccess(100), MemoryAccess(200)]
+    remapped = remap_accesses(accesses, mapper)
+    assert remapped[0].address >> 12 == remapped[1].address >> 12

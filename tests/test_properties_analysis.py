@@ -1,0 +1,104 @@
+"""Differential/property tests for analysis, paging and micro workloads."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.mem.access import MemoryAccess
+from repro.mem.paging import (
+    PAGE_SIZE,
+    FirstTouchPageMapper,
+    RandomizedPageMapper,
+)
+from repro.workloads.analysis import characterize, reuse_profile
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def naive_stack_distances(blocks):
+    """O(N^2) reference implementation of the stack distance."""
+    distances = []
+    cold = 0
+    for index, block in enumerate(blocks):
+        previous = None
+        for back in range(index - 1, -1, -1):
+            if blocks[back] == block:
+                previous = back
+                break
+        if previous is None:
+            cold += 1
+        else:
+            distances.append(len(set(blocks[previous + 1 : index])))
+    return distances, cold
+
+
+@SETTINGS
+@given(blocks=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=120))
+def test_reuse_profile_matches_naive_reference(blocks):
+    accesses = [MemoryAccess(block * 64) for block in blocks]
+    profile = reuse_profile(accesses)
+    expected_distances, expected_cold = naive_stack_distances(blocks)
+    assert profile.distances == expected_distances
+    assert profile.cold_misses == expected_cold
+
+
+@SETTINGS
+@given(blocks=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+def test_hit_rate_monotone_in_capacity(blocks):
+    profile = reuse_profile([MemoryAccess(block * 64) for block in blocks])
+    rates = [profile.hit_rate_at(capacity) for capacity in (1, 2, 4, 8, 16, 64)]
+    assert rates == sorted(rates)
+
+
+@SETTINGS
+@given(blocks=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
+def test_characterize_invariants(blocks):
+    accesses = [MemoryAccess(block * 64) for block in blocks]
+    result = characterize(accesses)
+    assert result.accesses == len(blocks)
+    assert 1 <= result.distinct_blocks <= len(blocks)
+    assert 0.0 <= result.sequential_fraction <= 1.0
+    assert 0.0 <= result.top1pct_block_share <= 1.0
+    assert result.entropy_bits >= 0.0
+
+
+@SETTINGS
+@given(
+    vpns=st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=200),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_randomized_mapper_is_injective_and_stable(vpns, seed):
+    mapper = RandomizedPageMapper(seed=seed)
+    frames = {}
+    for vpn in vpns:
+        frame = mapper.translate(vpn * PAGE_SIZE) >> 12
+        if vpn in frames:
+            assert frames[vpn] == frame  # stable
+        frames[vpn] = frame
+    # Injective: distinct vpns -> distinct frames.
+    assert len(set(frames.values())) == len(frames)
+
+
+@SETTINGS
+@given(vpns=st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=200))
+def test_first_touch_mapper_is_dense(vpns):
+    mapper = FirstTouchPageMapper()
+    for vpn in vpns:
+        mapper.translate(vpn * PAGE_SIZE)
+    distinct = len(set(vpns))
+    assert mapper.mapped_pages == distinct
+    # Frames are exactly 0..distinct-1.
+    frames = {mapper.translate(vpn * PAGE_SIZE) >> 12 for vpn in set(vpns)}
+    assert frames == set(range(distinct))
+
+
+@SETTINGS
+@given(
+    offsets=st.lists(st.integers(min_value=0, max_value=PAGE_SIZE - 1), min_size=1, max_size=50),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_mappers_preserve_page_offsets(offsets, seed):
+    for mapper in (FirstTouchPageMapper(), RandomizedPageMapper(seed=seed)):
+        for index, offset in enumerate(offsets):
+            address = index * PAGE_SIZE + offset
+            assert mapper.translate(address) % PAGE_SIZE == offset

@@ -1,0 +1,128 @@
+"""Property-based tests on whole designs (hypothesis-driven traces)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.mem.access import AccessType, MemoryAccess
+from repro.mem.hierarchy import HierarchyConfig, LevelConfig
+from repro.secure.designs import make_design
+from repro.secure.engine import EngineConfig
+from repro.secure.layout import SecureLayout
+
+SETTINGS = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+access_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 18) - 1),  # block
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def build(name):
+    hierarchy = HierarchyConfig(
+        num_cores=1,
+        l1=LevelConfig(2 * 1024, 2, 2),
+        l2=LevelConfig(8 * 1024, 4, 20),
+        llc=LevelConfig(32 * 1024, 8, 128),
+        l2_prefetcher="none",
+    )
+    kwargs = {
+        "hierarchy_config": hierarchy,
+        "layout": SecureLayout(data_blocks=1 << 20, blocks_per_ctr=128),
+    }
+    if name != "np":
+        kwargs["engine_config"] = EngineConfig(
+            ctr_cache_bytes=8 * 1024, mt_cache_bytes=4 * 1024
+        )
+    return make_design(name, **kwargs)
+
+
+def to_trace(pairs):
+    return [
+        MemoryAccess(block * 64, AccessType.WRITE if w else AccessType.READ)
+        for block, w in pairs
+    ]
+
+
+@SETTINGS
+@given(pairs=access_lists, name=st.sampled_from(["np", "morphctr", "cosmos", "emcc"]))
+def test_latency_bounded_below_by_l1(pairs, name):
+    design = build(name)
+    for access in to_trace(pairs):
+        assert design.process(access) >= 2  # never cheaper than an L1 hit
+
+
+@SETTINGS
+@given(pairs=access_lists)
+def test_morphctr_ctr_reads_track_misses(pairs):
+    design = build("morphctr")
+    for access in to_trace(pairs):
+        design.process(access)
+    traffic = design.traffic()
+    # Every CTR DRAM read corresponds to a CTR cache miss.
+    assert traffic.ctr_reads == design.engine.ctr_cache.stats.misses
+    # Demand data reads are exactly the LLC misses (no prefetcher).
+    assert traffic.data_reads == design.stats.llc_misses
+
+
+@SETTINGS
+@given(pairs=access_lists)
+def test_mt_reads_bounded_by_tree_depth(pairs):
+    design = build("morphctr")
+    for access in to_trace(pairs):
+        design.process(access)
+    traffic = design.traffic()
+    depth = design.layout.mt_levels
+    assert traffic.mt_reads <= (traffic.ctr_reads + traffic.ctr_writes) * depth
+
+
+@SETTINGS
+@given(pairs=access_lists)
+def test_hierarchy_stats_conserved_across_designs(pairs):
+    """Cache behaviour is design-independent: same trace, same misses."""
+    trace = to_trace(pairs)
+    reference = build("np")
+    for access in trace:
+        reference.process(access)
+    for name in ("morphctr", "cosmos"):
+        design = build(name)
+        for access in trace:
+            design.process(access)
+        assert design.hierarchy.llc.stats.misses == reference.hierarchy.llc.stats.misses
+        assert design.stats.l1_misses == reference.stats.l1_misses
+
+
+@SETTINGS
+@given(pairs=access_lists)
+def test_cosmos_prediction_accounting_consistent(pairs):
+    design = build("cosmos")
+    for access in to_trace(pairs):
+        design.process(access)
+    location = design.controller.location.stats
+    # Every L1 miss produced exactly one graded prediction.
+    assert location.predictions == design.stats.l1_misses
+    assert (
+        design.stats.bypasses + design.stats.fallback_fetches
+        == design.stats.llc_misses
+    )
+
+
+@SETTINGS
+@given(pairs=access_lists)
+def test_writes_eventually_counted(pairs):
+    """Flushing the hierarchy drains every dirty line to the write path."""
+    design = build("morphctr")
+    writes = 0
+    for access in to_trace(pairs):
+        design.process(access)
+        if access.is_write:
+            writes += 1
+    design.hierarchy.flush()
+    # Distinct written blocks <= secure writes observed <= total writes.
+    distinct_written = len({p[0] for p in pairs if p[1]})
+    assert design.engine.events.writes_seen >= distinct_written

@@ -1,0 +1,158 @@
+"""Unit tests for the replacement policies."""
+
+import pytest
+
+from repro.mem.cache import Cache
+from repro.mem.replacement import (
+    CacheLine,
+    LRUPolicy,
+    MockingjayPolicy,
+    RandomPolicy,
+    RRIPPolicy,
+    SHiPPolicy,
+    make_policy,
+)
+
+
+def lines(n):
+    return [CacheLine(tag) for tag in range(n)]
+
+
+class TestLRU:
+    def test_victim_is_oldest(self):
+        policy = LRUPolicy()
+        candidates = lines(3)
+        for line in candidates:
+            policy.on_insert(0, line)
+        policy.on_hit(0, candidates[0])
+        victim = policy.victim(0, candidates)
+        assert victim is candidates[1]
+
+    def test_hit_refreshes(self):
+        policy = LRUPolicy()
+        candidates = lines(2)
+        for line in candidates:
+            policy.on_insert(0, line)
+        policy.on_hit(0, candidates[0])
+        assert policy.victim(0, candidates) is candidates[1]
+
+
+class TestRandom:
+    def test_victim_from_candidates(self):
+        policy = RandomPolicy(seed=1)
+        candidates = lines(4)
+        for _ in range(20):
+            assert policy.victim(0, candidates) in candidates
+
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        candidates = lines(8)
+        assert [a.victim(0, candidates).tag for _ in range(10)] == [
+            b.victim(0, candidates).tag for _ in range(10)
+        ]
+
+
+class TestRRIP:
+    def test_insert_rrpv(self):
+        policy = RRIPPolicy()
+        line = CacheLine(0)
+        policy.on_insert(0, line)
+        assert line.rrpv == 2
+
+    def test_hit_promotes(self):
+        policy = RRIPPolicy()
+        line = CacheLine(0)
+        policy.on_insert(0, line)
+        policy.on_hit(0, line)
+        assert line.rrpv == 0
+
+    def test_victim_prefers_max_rrpv(self):
+        policy = RRIPPolicy()
+        candidates = lines(3)
+        candidates[0].rrpv = 1
+        candidates[1].rrpv = 3
+        candidates[2].rrpv = 2
+        assert policy.victim(0, candidates) is candidates[1]
+
+    def test_aging_when_no_max(self):
+        policy = RRIPPolicy()
+        candidates = lines(2)
+        candidates[0].rrpv = 0
+        candidates[1].rrpv = 1
+        victim = policy.victim(0, candidates)
+        assert victim is candidates[1]
+        assert candidates[0].rrpv > 0  # aged up
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            RRIPPolicy(max_rrpv=2, insert_rrpv=3)
+
+
+class TestSHiP:
+    def test_learns_reuse_signature(self):
+        policy = SHiPPolicy(shct_entries=16, counter_max=3)
+        line = CacheLine(0)
+        policy.on_insert(0, line, context=0)
+        signature = line.signature
+        before = policy.shct_value(signature)
+        policy.on_hit(0, line, context=0)
+        assert policy.shct_value(signature) == min(3, before + 1)
+
+    def test_dead_signature_inserted_distant(self):
+        policy = SHiPPolicy(shct_entries=16, counter_max=3)
+        # Train the signature to zero with unused insert/evict pairs.
+        for _ in range(4):
+            line = CacheLine(0)
+            policy.on_insert(0, line, context=0)
+            policy.on_evict(0, line)
+        line = CacheLine(0)
+        policy.on_insert(0, line, context=0)
+        assert line.rrpv == policy.max_rrpv
+
+    def test_eviction_without_reuse_decrements(self):
+        policy = SHiPPolicy(shct_entries=16)
+        line = CacheLine(0)
+        policy.on_insert(0, line, context=1 << 10)
+        value = policy.shct_value(line.signature)
+        policy.on_evict(0, line)
+        assert policy.shct_value(line.signature) == max(0, value - 1)
+
+
+class TestMockingjay:
+    def test_victim_is_highest_eta(self):
+        policy = MockingjayPolicy()
+        candidates = lines(3)
+        candidates[0].eta = 5
+        candidates[1].eta = 50
+        candidates[2].eta = 20
+        assert policy.victim(0, candidates) is candidates[1]
+
+    def test_reuse_distance_learning_lowers_eta(self):
+        policy = MockingjayPolicy(default_reuse=1000)
+        hot = CacheLine(0)
+        # Touch the same context repeatedly: learned reuse distance shrinks.
+        for _ in range(20):
+            policy.on_hit(0, hot, context=4096)
+        cold = CacheLine(1)
+        policy.on_insert(0, cold, context=999999 << 12)
+        assert hot.eta - policy._clock < cold.eta - policy._clock
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "random", "rrip", "ship", "mockingjay"])
+    def test_make_policy(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("belady")
+
+
+def test_policies_work_inside_cache():
+    for name in ("lru", "rrip", "ship", "mockingjay", "random"):
+        cache = Cache(4 * 64, 2, policy=make_policy(name))
+        for block in range(32):
+            cache.access_and_fill(block)
+        assert cache.occupancy <= cache.capacity_lines
+        assert cache.stats.misses == 32

@@ -1,0 +1,74 @@
+"""Unit tests for SimulationResult metrics."""
+
+import pytest
+
+from repro.mem.stats import TrafficStats
+from repro.sim.results import SimulationResult
+
+
+def make_result(cycles=1000.0, instructions=2000, design="morphctr", **overrides):
+    base = dict(
+        design=design,
+        workload="dfs",
+        accesses=500,
+        instructions=instructions,
+        cycles=cycles,
+        total_latency=4000,
+        l1_miss_rate=0.4,
+        l2_miss_rate=0.6,
+        llc_miss_rate=0.9,
+        ctr_miss_rate=0.8,
+        traffic=TrafficStats(data_reads=100, mt_reads=300),
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+def test_ipc():
+    assert make_result(cycles=1000, instructions=2000).ipc == 2.0
+    assert make_result(cycles=0).ipc == 0.0
+
+
+def test_average_latency():
+    assert make_result().average_latency == 4000 / 500
+    assert make_result(accesses=0).average_latency == 0.0
+
+
+def test_speedup_and_normalization():
+    fast = make_result(cycles=500)
+    slow = make_result(cycles=1000)
+    assert fast.speedup_over(slow) == 2.0
+    assert slow.normalized_to(fast) == 0.5
+
+
+def test_smat_uses_measured_miss_rates():
+    result = make_result()
+    value = result.smat(
+        l1_latency=2, l2_latency=20, llc_latency=128, dram_latency=96,
+        ctr_hit_latency=4, ctr_dram_latency=96, ctr_verify_latency=40,
+    )
+    lower_ctr = make_result(ctr_miss_rate=0.1).smat(
+        l1_latency=2, l2_latency=20, llc_latency=128, dram_latency=96,
+        ctr_hit_latency=4, ctr_dram_latency=96, ctr_verify_latency=40,
+    )
+    assert lower_ctr < value
+
+
+def test_np_smat_has_no_ctr_term():
+    np_result = make_result(design="np", ctr_miss_rate=0.0,
+                            traffic=TrafficStats(data_reads=100))
+    secure = make_result()
+    kwargs = dict(
+        l1_latency=2, l2_latency=20, llc_latency=128, dram_latency=96,
+        ctr_hit_latency=4, ctr_dram_latency=96, ctr_verify_latency=40,
+    )
+    assert np_result.smat(**kwargs) < secure.smat(**kwargs)
+
+
+def test_summary_flattens_extras():
+    result = make_result()
+    result.extra["prediction_accuracy"] = 0.8512345
+    summary = result.summary()
+    assert summary["design"] == "morphctr"
+    assert summary["prediction_accuracy"] == pytest.approx(0.8512, abs=1e-4)
+    assert summary["mt_reads"] == 300

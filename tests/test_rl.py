@@ -1,0 +1,87 @@
+"""Unit tests for the tabular RL primitives."""
+
+import pytest
+
+from repro.core.rl import Q_MAX, Q_MIN, EpsilonGreedy, QTable
+
+
+class TestQTable:
+    def test_initial_values(self):
+        table = QTable(4, 2, initial_value=1.5)
+        assert table.q(0, 0) == 1.5
+        assert table.q(3, 1) == 1.5
+
+    def test_best_action_ties_go_low(self):
+        table = QTable(2, 2)
+        assert table.best_action(0) == 0
+
+    def test_best_action_tracks_updates(self):
+        table = QTable(2, 2)
+        table.update(0, 1, reward=10, alpha=1.0, gamma=0.0)
+        assert table.best_action(0) == 1
+
+    def test_update_rule_matches_formula(self):
+        table = QTable(1, 2)
+        # Q <- Q + a(R + g*B - Q) with Q=0, a=0.5, R=10, g=0.5, B=4 -> 6.0
+        new = table.update(0, 0, reward=10, alpha=0.5, gamma=0.5, bootstrap=4.0)
+        assert new == pytest.approx(6.0)
+
+    def test_clamping_to_int8_range(self):
+        table = QTable(1, 2)
+        for _ in range(100):
+            table.update(0, 0, reward=100, alpha=1.0, gamma=0.9, bootstrap=Q_MAX)
+        assert table.q(0, 0) == Q_MAX
+        for _ in range(100):
+            table.update(0, 1, reward=-100, alpha=1.0, gamma=0.9, bootstrap=Q_MIN)
+        assert table.q(0, 1) == Q_MIN
+
+    def test_max_q(self):
+        table = QTable(1, 3)
+        table.update(0, 2, reward=5, alpha=1.0, gamma=0.0)
+        assert table.max_q(0) == table.q(0, 2)
+
+    def test_quantized_is_int(self):
+        table = QTable(1, 2)
+        table.update(0, 0, reward=3.7, alpha=1.0, gamma=0.0)
+        assert isinstance(table.quantized(0, 0), int)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            QTable(0, 2)
+        with pytest.raises(ValueError):
+            QTable(4, 0)
+
+
+class TestEpsilonGreedy:
+    def test_zero_epsilon_always_exploits(self):
+        table = QTable(1, 2)
+        table.update(0, 1, reward=10, alpha=1.0, gamma=0.0)
+        selector = EpsilonGreedy(0.0, seed=1)
+        assert all(selector.select(table, 0) == 1 for _ in range(50))
+        assert selector.explorations == 0
+
+    def test_full_epsilon_always_explores(self):
+        table = QTable(1, 2)
+        selector = EpsilonGreedy(1.0, seed=1)
+        actions = {selector.select(table, 0) for _ in range(50)}
+        assert actions == {0, 1}
+        assert selector.exploitations == 0
+
+    def test_exploration_fraction_tracks_epsilon(self):
+        table = QTable(1, 2)
+        selector = EpsilonGreedy(0.25, seed=3)
+        for _ in range(4000):
+            selector.select(table, 0)
+        assert abs(selector.exploration_fraction - 0.25) < 0.05
+
+    def test_seeded_determinism(self):
+        table = QTable(1, 2)
+        a = EpsilonGreedy(0.5, seed=9)
+        b = EpsilonGreedy(0.5, seed=9)
+        assert [a.select(table, 0) for _ in range(30)] == [
+            b.select(table, 0) for _ in range(30)
+        ]
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            EpsilonGreedy(1.5)

@@ -1,0 +1,72 @@
+"""Focused tests for the RMCC-style hot-counter memoisation."""
+
+import random
+
+from repro.mem.access import MemoryAccess
+from repro.mem.hierarchy import HierarchyConfig, LevelConfig
+from repro.secure.designs import RmccDesign
+from repro.secure.engine import EngineConfig
+from repro.secure.layout import SecureLayout
+
+
+def make_rmcc(memo_entries=64):
+    return RmccDesign(
+        hierarchy_config=HierarchyConfig(
+            num_cores=1,
+            l1=LevelConfig(2 * 1024, 2, 2),
+            l2=LevelConfig(8 * 1024, 4, 20),
+            llc=LevelConfig(32 * 1024, 8, 128),
+            l2_prefetcher="none",
+        ),
+        layout=SecureLayout(data_blocks=1 << 22, blocks_per_ctr=128),
+        engine_config=EngineConfig(ctr_cache_bytes=8 * 1024, mt_cache_bytes=4 * 1024),
+        memo_entries=memo_entries,
+    )
+
+
+def test_memo_fills_up_to_capacity():
+    design = make_rmcc(memo_entries=4)
+    rng = random.Random(0)
+    for _ in range(5000):
+        design.process(MemoryAccess(rng.randrange(1 << 16) * 64))
+    assert len(design._memo) <= 4
+
+
+def test_hot_counter_gets_memoised():
+    design = make_rmcc(memo_entries=8)
+    rng = random.Random(1)
+    hot_ctr_block = 7 * 128  # blocks 896..1023 share counter line 7
+    for _ in range(4000):
+        # Alternate a hot counter page with cold noise.
+        design.process(MemoryAccess((hot_ctr_block + rng.randrange(128)) * 64))
+        design.process(MemoryAccess(rng.randrange(1 << 16) * 64))
+    assert 7 in design._memo
+    assert design.memo_hits > 0
+
+
+def test_cold_counters_displaced_by_hotter_ones():
+    design = make_rmcc(memo_entries=2)
+    # Touch counter lines 0 and 1 once (cold), then hammer lines 2 and 3.
+    for ctr in (0, 1):
+        design.process(MemoryAccess(ctr * 128 * 64))
+    rng = random.Random(2)
+    for _ in range(3000):
+        ctr = 2 + rng.randrange(2)
+        design.process(MemoryAccess((ctr * 128 + rng.randrange(128)) * 64))
+        design.process(MemoryAccess(rng.randrange(1 << 17) * 64))  # LLC churn
+    assert 2 in design._memo or 3 in design._memo
+
+
+def test_memo_hit_shortens_latency():
+    design = make_rmcc(memo_entries=8)
+    rng = random.Random(3)
+    # Warm the memo with a hot counter page while churning the caches.
+    latencies = []
+    for index in range(6000):
+        block = (5 * 128 + rng.randrange(128))
+        latencies.append(design.process(MemoryAccess(block * 64)))
+        design.process(MemoryAccess(rng.randrange(1 << 17) * 64))
+    assert design.memo_hits > 0
+    # Once memoised, misses to the hot page avoid the CTR-DRAM wait: the
+    # cheapest late-run fetch beats the cold first fetch.
+    assert min(latencies[-100:]) <= latencies[0]

@@ -1,0 +1,90 @@
+"""Tests for trace serialisation and multi-programmed mixes."""
+
+import numpy as np
+import pytest
+
+from repro.mem.access import AccessType, MemoryAccess
+from repro.workloads.micro import stream_trace, uniform_random_trace
+from repro.workloads.serialization import FORMAT_VERSION, load_trace, save_trace
+from repro.workloads.trace import Trace, multiprogram
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        trace = uniform_random_trace(n=500, seed=3, write_fraction=0.4)
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        assert [a.address for a in loaded] == [a.address for a in trace]
+        assert [a.type for a in loaded] == [a.type for a in trace]
+        assert [a.core for a in loaded] == [a.core for a in trace]
+
+    def test_metadata_preserved(self, tmp_path):
+        trace = Trace("x", [MemoryAccess(64)], metadata={"seed": 7, "kind": "demo"})
+        loaded = load_trace(save_trace(trace, tmp_path / "x.npz"))
+        assert loaded.metadata["seed"] == 7
+        assert loaded.metadata["kind"] == "demo"
+
+    def test_suffix_added(self, tmp_path):
+        path = save_trace(stream_trace(n=10), tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_array_rejected(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, addresses=np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        trace = stream_trace(n=5)
+        path = save_trace(trace, tmp_path / "v.npz")
+        data = dict(np.load(path))
+        import json
+
+        header = json.dumps({"version": FORMAT_VERSION + 1})
+        data["header"] = np.frombuffer(header.encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_compression_is_compact(self, tmp_path):
+        trace = stream_trace(n=50_000)
+        path = save_trace(trace, tmp_path / "big.npz")
+        assert path.stat().st_size < 400_000  # far below 50k * 11B raw
+
+
+class TestMultiprogram:
+    def test_cores_assigned_in_order(self):
+        mixed = multiprogram([stream_trace(n=10), stream_trace(n=10)])
+        assert mixed.core_counts() == {0: 10, 1: 10}
+
+    def test_address_spaces_disjoint(self):
+        mixed = multiprogram(
+            [stream_trace(n=100), stream_trace(n=100)], address_stride=1 << 30
+        )
+        per_core = {0: set(), 1: set()}
+        for access in mixed:
+            per_core[access.core].add(access.address)
+        assert not (per_core[0] & per_core[1])
+
+    def test_name_and_metadata(self):
+        mixed = multiprogram([stream_trace(n=4), uniform_random_trace(n=4)])
+        assert mixed.name == "stream+uniform"
+        assert mixed.metadata["programs"] == ["stream", "uniform"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multiprogram([])
+
+    def test_simulates_through_multicore_design(self):
+        from repro.sim.config import small_test_config
+        from repro.sim.simulator import simulate
+
+        mixed = multiprogram(
+            [stream_trace(n=3000), uniform_random_trace(n=3000, seed=1)]
+        )
+        config = small_test_config(num_cores=2)
+        result = simulate("cosmos", mixed, config, workload=mixed.name)
+        assert result.accesses == 6000

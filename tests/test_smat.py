@@ -1,0 +1,56 @@
+"""Unit tests for the SMAT model (Eqs. 1-2)."""
+
+import pytest
+
+from repro.sim.smat import SmatInputs, ctr_term, smat, smat_unprotected
+
+
+def inputs(**overrides):
+    base = dict(
+        l1_latency=2, l2_latency=20, llc_latency=128, dram_latency=96,
+        ctr_hit_latency=4, ctr_dram_latency=96, ctr_verify_latency=40,
+        mr_l1=0.4, mr_l2=0.6, mr_llc=0.9, mr_ctr=0.9,
+    )
+    base.update(overrides)
+    return SmatInputs(**base)
+
+
+def test_ctr_term_formula():
+    value = ctr_term(inputs(mr_ctr=0.5))
+    assert value == pytest.approx(4 + 0.5 * (96 + 40))
+
+
+def test_smat_expands_equation1():
+    i = inputs()
+    expected = 2 + 0.4 * (20 + 0.6 * (128 + 0.9 * (ctr_term(i) + 96)))
+    assert smat(i) == pytest.approx(expected)
+
+
+def test_unprotected_drops_ctr_term():
+    i = inputs()
+    assert smat_unprotected(i) < smat(i)
+    expected = 2 + 0.4 * (20 + 0.6 * (128 + 0.9 * 96))
+    assert smat_unprotected(i) == pytest.approx(expected)
+
+
+def test_perfect_l1_reduces_to_l1_latency():
+    i = inputs(mr_l1=0.0)
+    assert smat(i) == 2
+
+
+def test_lower_ctr_miss_means_lower_smat():
+    assert smat(inputs(mr_ctr=0.3)) < smat(inputs(mr_ctr=0.9))
+
+
+def test_smat_monotone_in_every_miss_rate():
+    base = smat(inputs())
+    assert smat(inputs(mr_l1=0.2)) < base
+    assert smat(inputs(mr_l2=0.3)) < base
+    assert smat(inputs(mr_llc=0.5)) < base
+
+
+def test_invalid_miss_rates_rejected():
+    with pytest.raises(ValueError):
+        inputs(mr_ctr=1.5)
+    with pytest.raises(ValueError):
+        inputs(mr_l1=-0.1)

@@ -1,0 +1,67 @@
+"""Unit tests for the SPEC-like irregular trace generators."""
+
+import pytest
+
+from repro.workloads.spec import SPEC_WORKLOADS, generate_spec_trace
+
+
+def test_workload_names():
+    assert set(SPEC_WORKLOADS) == {"mcf", "canneal", "omnetpp"}
+
+
+@pytest.mark.parametrize("spec_name", SPEC_WORKLOADS)
+def test_generates_requested_length(spec_name):
+    trace = generate_spec_trace(spec_name, num_cores=2, max_accesses=4000)
+    assert len(trace) == 4000
+    assert trace.name == spec_name
+
+
+def test_unknown_benchmark():
+    with pytest.raises(ValueError):
+        generate_spec_trace("gcc")
+
+
+def test_deterministic():
+    a = generate_spec_trace("mcf", num_cores=1, max_accesses=2000, seed=5)
+    b = generate_spec_trace("mcf", num_cores=1, max_accesses=2000, seed=5)
+    assert [x.address for x in a] == [x.address for x in b]
+
+
+def test_mcf_is_pointer_chasing_irregular():
+    trace = generate_spec_trace("mcf", num_cores=1, max_accesses=6000,
+                                working_set_elements=50_000)
+    # Consecutive node loads land on unrelated lines almost always.
+    blocks = [access.block_address for access in trace]
+    sequential = sum(1 for a, b in zip(blocks, blocks[1:]) if abs(b - a) <= 1)
+    assert sequential / len(blocks) < 0.5
+
+
+def test_canneal_mixes_writes():
+    trace = generate_spec_trace("canneal", num_cores=1, max_accesses=5000)
+    assert 0.1 < trace.write_fraction < 0.7
+
+
+def test_omnetpp_has_hot_heap_and_cold_pool():
+    trace = generate_spec_trace("omnetpp", num_cores=1, max_accesses=8000)
+    counts = {}
+    for access in trace:
+        counts[access.block_address] = counts.get(access.block_address, 0) + 1
+    frequencies = sorted(counts.values(), reverse=True)
+    # The event-queue heap head is far hotter than the median message.
+    assert frequencies[0] > 20 * frequencies[len(frequencies) // 2]
+
+
+def test_working_set_override():
+    small = generate_spec_trace("mcf", num_cores=1, max_accesses=3000,
+                                working_set_elements=1000)
+    large = generate_spec_trace("mcf", num_cores=1, max_accesses=3000,
+                                working_set_elements=100_000)
+    assert small.footprint_blocks() < large.footprint_blocks()
+
+
+def test_per_core_private_working_sets():
+    trace = generate_spec_trace("mcf", num_cores=2, max_accesses=4000)
+    blocks_by_core = {0: set(), 1: set()}
+    for access in trace:
+        blocks_by_core[access.core].add(access.block_address)
+    assert not (blocks_by_core[0] & blocks_by_core[1])

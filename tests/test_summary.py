@@ -1,0 +1,51 @@
+"""Tests for the one-command report generator."""
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.summary import REPORT_EXPERIMENTS, generate_report
+
+
+@pytest.fixture(autouse=True)
+def tiny_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_LEN", "3000")
+    monkeypatch.setenv("REPRO_GRAPH_SCALE", "0.04")
+    monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "traces")
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+    yield
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+
+
+def test_registry_covers_core_figures():
+    names = " ".join(REPORT_EXPERIMENTS)
+    for token in ("Figure 2", "Figure 10", "Figure 17", "Table 2"):
+        assert token in names
+
+
+def test_generate_filtered_report(tmp_path):
+    path = generate_report(output=tmp_path / "r.md", include=["Table 2"])
+    text = path.read_text()
+    assert text.startswith("# COSMOS reproduction report")
+    assert "## Table 2 - storage overhead" in text
+    assert "| component |" in text
+    # Only the requested section was run.
+    assert "Figure 10" not in text
+
+
+def test_generate_report_multiple_sections(tmp_path):
+    path = generate_report(
+        output=tmp_path / "r2.md", include=["Table 2", "Table 4"]
+    )
+    text = path.read_text()
+    assert text.count("## ") == 2
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.__main__ import main
+
+    output = tmp_path / "cli_report.md"
+    assert main(["report", "-o", str(output), "Table 2"]) == 0
+    assert output.exists()
+    assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Unit tests for the trace container and helpers."""
+
+import pytest
+
+from repro.mem.access import AccessType, MemoryAccess
+from repro.workloads.trace import ALLOC_ALIGN, Allocator, Trace, interleave, reads_and_writes
+
+
+class TestAllocator:
+    def test_alloc_is_page_aligned(self):
+        allocator = Allocator()
+        for size in (1, 100, 5000):
+            base = allocator.alloc(f"r{size}", size)
+            assert base % ALLOC_ALIGN == 0
+
+    def test_regions_do_not_overlap(self):
+        allocator = Allocator()
+        a = allocator.alloc("a", 10_000)
+        b = allocator.alloc("b", 10_000)
+        assert b >= a + 10_000
+
+    def test_footprint_tracks_allocations(self):
+        allocator = Allocator()
+        allocator.alloc("a", 4096)
+        allocator.alloc("b", 1)
+        assert allocator.footprint_bytes == 2 * 4096
+
+    def test_rejects_empty_allocation(self):
+        with pytest.raises(ValueError):
+            Allocator().alloc("x", 0)
+
+    def test_regions_recorded(self):
+        allocator = Allocator()
+        base = allocator.alloc("data", 128)
+        assert allocator.regions["data"] == (base, 128)
+
+
+class TestTrace:
+    def trace(self):
+        accesses = [
+            MemoryAccess(0, AccessType.READ, 0),
+            MemoryAccess(64, AccessType.WRITE, 1),
+            MemoryAccess(0, AccessType.READ, 0),
+        ]
+        return Trace("t", accesses)
+
+    def test_len_and_iter(self):
+        trace = self.trace()
+        assert len(trace) == 3
+        assert [access.address for access in trace] == [0, 64, 0]
+
+    def test_write_fraction(self):
+        assert self.trace().write_fraction == pytest.approx(1 / 3)
+        assert Trace("empty").write_fraction == 0.0
+
+    def test_footprint_blocks(self):
+        assert self.trace().footprint_blocks() == 2
+
+    def test_truncated(self):
+        short = self.trace().truncated(2)
+        assert len(short) == 2
+        assert short.name == "t"
+
+    def test_core_counts(self):
+        assert self.trace().core_counts() == {0: 2, 1: 1}
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = [MemoryAccess(0, core=0), MemoryAccess(1, core=0)]
+        b = [MemoryAccess(100, core=1), MemoryAccess(101, core=1)]
+        merged = interleave([a, b])
+        assert [access.address for access in merged] == [0, 100, 1, 101]
+
+    def test_uneven_streams(self):
+        a = [MemoryAccess(0), MemoryAccess(1), MemoryAccess(2)]
+        b = [MemoryAccess(100)]
+        merged = interleave([a, b])
+        assert [access.address for access in merged] == [0, 100, 1, 2]
+
+    def test_empty_input(self):
+        assert interleave([]) == []
+        assert interleave([[], []]) == []
+
+
+def test_reads_and_writes_builder():
+    accesses = reads_and_writes([(0, False), (64, True)], core=2)
+    assert accesses[0].type == AccessType.READ
+    assert accesses[1].type == AccessType.WRITE
+    assert all(access.core == 2 for access in accesses)

@@ -1,0 +1,112 @@
+"""Unit tests for the hyperparameter/reward tuning flow (Sec. 4.5)."""
+
+import pytest
+
+from repro.core.config import CosmosConfig, Hyperparameters
+from repro.core.tuning import (
+    TuningReport,
+    evaluate_configuration,
+    extract_footprint,
+    paper_configuration,
+    tune_hyperparameters,
+    tune_rewards,
+)
+from repro.mem.hierarchy import HierarchyConfig, LevelConfig
+
+
+def small_hierarchy():
+    return HierarchyConfig(
+        num_cores=1,
+        l1=LevelConfig(2 * 1024, 2, 2),
+        l2=LevelConfig(8 * 1024, 4, 20),
+        llc=LevelConfig(32 * 1024, 8, 128),
+    )
+
+
+@pytest.fixture(scope="module")
+def footprint(dfs_trace_module=None):
+    from repro.workloads.graph import preferential_attachment_graph
+    from repro.workloads.graph_algos import generate_graph_trace
+
+    graph = preferential_attachment_graph(600, edges_per_vertex=4, seed=3)
+    trace = generate_graph_trace("dfs", graph=graph, num_cores=1, max_accesses=4000, seed=5)
+    return extract_footprint(trace, hierarchy_config=small_hierarchy())
+
+
+def test_footprint_records_every_access(footprint):
+    assert len(footprint) == 4000
+    block, l1_miss, needs_memory = footprint[0]
+    assert isinstance(block, int)
+    assert l1_miss and needs_memory  # cold start misses everywhere
+
+
+def test_footprint_consistency(footprint):
+    # needs_memory implies l1_miss (inclusive hierarchy).
+    assert all(l1_miss or not needs_memory for _, l1_miss, needs_memory in footprint)
+
+
+def test_evaluate_configuration_in_unit_range(footprint):
+    config = CosmosConfig(num_states=1024, cet_entries=128, lcr_cache_bytes=4096)
+    hit_rate = evaluate_configuration(footprint, config)
+    assert 0.0 <= hit_rate <= 1.0
+
+
+def test_evaluate_empty_footprint():
+    assert evaluate_configuration([], CosmosConfig()) == 0.0
+
+
+def test_tune_hyperparameters_returns_requested_count(footprint):
+    report = tune_hyperparameters(footprint, n_combinations=4, seed=1,
+                                  base_config=CosmosConfig(num_states=512, cet_entries=64,
+                                                           lcr_cache_bytes=4096))
+    assert len(report.outcomes) == 4
+    assert report.best.hit_rate == max(o.hit_rate for o in report.outcomes)
+
+
+def test_tune_hyperparameters_samples_valid_ranges(footprint):
+    report = tune_hyperparameters(footprint, n_combinations=6, seed=2,
+                                  base_config=CosmosConfig(num_states=512, cet_entries=64,
+                                                           lcr_cache_bytes=4096))
+    for outcome in report.outcomes:
+        hyper = outcome.config.hyper
+        assert 1e-3 <= hyper.alpha_d <= 1.0
+        assert 1e-3 <= hyper.gamma_c <= 1.0
+        assert 0.0 <= hyper.epsilon_d <= 1.0
+
+
+def test_tune_rewards_respects_sign_ranges(footprint):
+    report = tune_rewards(footprint, Hyperparameters(), n_combinations=5, seed=3,
+                          base_config=CosmosConfig(num_states=512, cet_entries=64,
+                                                   lcr_cache_bytes=4096))
+    for outcome in report.outcomes:
+        rewards = outcome.config.data_rewards
+        assert rewards.r_hi >= 0 and rewards.r_mo >= 0
+        assert rewards.r_ho <= -1 and rewards.r_mi <= -1
+        ctr = outcome.config.ctr_rewards
+        assert ctr.r_hg >= 0 and ctr.r_mb >= 0 and ctr.r_eb >= 0
+        assert ctr.r_hb <= -1 and ctr.r_mg <= -1 and ctr.r_eg <= -1
+
+
+def test_tuning_is_deterministic(footprint):
+    base = CosmosConfig(num_states=512, cet_entries=64, lcr_cache_bytes=4096)
+    a = tune_hyperparameters(footprint, n_combinations=3, seed=7, base_config=base)
+    b = tune_hyperparameters(footprint, n_combinations=3, seed=7, base_config=base)
+    assert [o.hit_rate for o in a.outcomes] == [o.hit_rate for o in b.outcomes]
+
+
+def test_empty_report_raises():
+    with pytest.raises(ValueError):
+        TuningReport().best
+
+
+def test_paper_configuration_matches_table1():
+    config = paper_configuration()
+    assert config.hyper.alpha_d == 0.09
+    assert config.hyper.gamma_d == 0.88
+    assert config.hyper.epsilon_d == 0.1
+    assert config.hyper.alpha_c == 0.05
+    assert config.hyper.gamma_c == 0.35
+    assert config.hyper.epsilon_c == 0.001
+    assert config.data_rewards.r_mo == 12
+    assert config.data_rewards.r_mi == -30
+    assert config.ctr_rewards.r_eb == 26

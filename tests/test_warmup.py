@@ -1,0 +1,59 @@
+"""Tests for warmup handling (measure-after-warm methodology)."""
+
+from repro.mem.access import MemoryAccess
+from repro.sim.simulator import Simulator, build_design
+
+
+def test_warmup_excludes_cold_misses(tiny_config):
+    """The same short loop, measured cold vs after warmup."""
+    loop = [MemoryAccess(block * 64) for block in range(8)] * 50
+
+    cold = Simulator(build_design("np", tiny_config), tiny_config, "loop")
+    cold_result = cold.run(list(loop))
+
+    warm = Simulator(build_design("np", tiny_config), tiny_config, "loop")
+    warm_result = warm.run(list(loop), warmup_accesses=8)
+
+    assert warm_result.accesses == len(loop) - 8
+    # After warmup the loop hits L1 every time: no misses in the window.
+    assert warm_result.l1_miss_rate == 0.0
+    assert cold_result.l1_miss_rate > 0.0
+    assert warm_result.traffic.total == 0
+
+
+def test_warmup_preserves_learned_predictor_state(tiny_config, dfs_trace):
+    design = build_design("cosmos", tiny_config)
+    simulator = Simulator(design, tiny_config, "dfs")
+    result = simulator.run(list(dfs_trace), warmup_accesses=3000)
+    assert result.accesses == len(dfs_trace) - 3000
+    # Prediction stats were reset but the Q-table kept its training: the
+    # measured window alone must carry graded predictions.
+    assert design.controller.location.stats.predictions > 0
+
+
+def test_warmup_resets_secure_traffic(tiny_config, dfs_trace):
+    design = build_design("morphctr", tiny_config)
+    simulator = Simulator(design, tiny_config, "dfs")
+    result = simulator.run(list(dfs_trace), warmup_accesses=len(dfs_trace) - 100)
+    # Only the last 100 accesses are measured.
+    assert result.accesses == 100
+    assert result.traffic.total < 2000
+
+
+def test_warmup_longer_than_trace(tiny_config, dfs_trace):
+    design = build_design("np", tiny_config)
+    simulator = Simulator(design, tiny_config, "dfs")
+    result = simulator.run(list(dfs_trace), warmup_accesses=10 * len(dfs_trace))
+    assert result.accesses == 0
+
+
+def test_reset_stats_keeps_cache_contents(tiny_config):
+    design = build_design("morphctr", tiny_config)
+    design.process(MemoryAccess(0))
+    occupancy = design.hierarchy.llc.occupancy
+    design.reset_stats()
+    assert design.hierarchy.llc.occupancy == occupancy
+    assert design.hierarchy.llc.stats.accesses == 0
+    # The resident block still hits after the reset.
+    design.process(MemoryAccess(0))
+    assert design.hierarchy.l1[0].stats.hits == 1
