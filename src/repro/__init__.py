@@ -50,6 +50,11 @@ from .sim import (
     simulate_designs,
     smat,
 )
+from .exec import (
+    JobSpec,
+    ParallelRunner,
+    ResultCache,
+)
 from .workloads import (
     GRAPH_WORKLOADS,
     ML_WORKLOADS,
@@ -74,11 +79,14 @@ __all__ = [
     "DramModel",
     "GRAPH_WORKLOADS",
     "HierarchyConfig",
+    "JobSpec",
     "ML_WORKLOADS",
     "MemoryAccess",
     "MemoryHierarchy",
     "MerkleTree",
     "MorphCtrCounters",
+    "ParallelRunner",
+    "ResultCache",
     "SPEC_WORKLOADS",
     "SecureLayout",
     "SecureMemoryEngine",

@@ -17,7 +17,6 @@ from typing import Callable, Dict
 
 from .bench import experiments
 from .bench.report import format_table
-from .bench.runner import run_design
 from .workloads.graph_algos import GRAPH_WORKLOADS
 from .workloads.ml import ML_WORKLOADS
 from .workloads.spec import SPEC_WORKLOADS
@@ -58,7 +57,18 @@ DESIGNS = [
 ]
 
 
+def _apply_execution_flags(args: argparse.Namespace) -> None:
+    """Propagate --jobs/--no-cache into the process-wide exec options."""
+    from .exec import set_options
+
+    if getattr(args, "jobs", None) is not None:
+        set_options(jobs=args.jobs)
+    if getattr(args, "no_cache", False):
+        set_options(use_cache=False)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    _apply_execution_flags(args)
     names = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
@@ -77,7 +87,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    result = run_design(args.design, args.workload, max_accesses=args.accesses)
+    _apply_execution_flags(args)
+    from .bench.runner import run_design_matrix
+
+    matrix = run_design_matrix(
+        [args.design], [args.workload], max_accesses=args.accesses
+    )
+    result = matrix[args.workload][args.design]
     print(format_table([result.summary()]))
     return 0
 
@@ -114,12 +130,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", metavar="DIR", default=None,
         help="also write each experiment's rows to DIR as CSV + JSON",
     )
+    reproduce.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for simulation cells (default: REPRO_JOBS or 1)",
+    )
+    reproduce.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk simulation-result cache",
+    )
     reproduce.set_defaults(func=_cmd_reproduce)
 
     simulate = sub.add_parser("simulate", help="run one design on one workload")
     simulate.add_argument("-d", "--design", choices=DESIGNS, default="cosmos")
     simulate.add_argument("-w", "--workload", default="dfs")
     simulate.add_argument("-n", "--accesses", type=int, default=None)
+    simulate.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for simulation cells (default: REPRO_JOBS or 1)",
+    )
+    simulate.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk simulation-result cache",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     report = sub.add_parser("report", help="run experiments and write REPORT.md")

@@ -21,7 +21,7 @@ from ..workloads.graph_algos import GRAPH_WORKLOADS
 from ..workloads.ml import ML_WORKLOADS
 from ..workloads.spec import SPEC_WORKLOADS
 from .report import geometric_mean, print_experiment
-from .runner import default_config, get_trace, run_design, run_matrix
+from .runner import default_config, get_trace, run_design, run_design_matrix, run_matrix
 
 #: Default workload sets (paper Sec. 5).
 DEFAULT_GRAPHS = list(GRAPH_WORKLOADS)
@@ -294,7 +294,9 @@ def figure10(
     """MorphCtr / COSMOS-DP / COSMOS-CP / COSMOS normalised to NP."""
     workloads = workloads if workloads is not None else DEFAULT_IRREGULAR
     designs = ["np", "morphctr", "cosmos-dp", "cosmos-cp", "cosmos"]
-    matrix = run_matrix(designs, workloads)
+    # One job per (design, workload) cell: the whole figure fans out
+    # through repro.exec and lands in the result cache.
+    matrix = run_design_matrix(designs, workloads)
     rows: List[Dict[str, object]] = []
     for workload in workloads:
         np_result = matrix[workload]["np"]
@@ -481,11 +483,16 @@ def figure15(
                 cosmos=config.cosmos,
                 cpu=config.cpu,
             )
+        # All (design, workload) cells for this core count fan out as one
+        # job matrix through repro.exec.
+        matrix = run_design_matrix(
+            ["np", "morphctr", "cosmos"], workloads, config=config, num_cores=cores
+        )
         gains: List[float] = []
         for workload in workloads:
-            np_result = run_design("np", workload, config, num_cores=cores)
-            base = run_design("morphctr", workload, config, num_cores=cores)
-            cosmos = run_design("cosmos", workload, config, num_cores=cores)
+            np_result = matrix[workload]["np"]
+            base = matrix[workload]["morphctr"]
+            cosmos = matrix[workload]["cosmos"]
             gains.append(cosmos.speedup_over(base))
             rows.append(
                 {
@@ -675,9 +682,11 @@ def table2(quiet: bool = False) -> List[Dict[str, object]]:
 def table4(workload: str = "dfs", quiet: bool = False) -> List[Dict[str, object]]:
     """Run every design variation once and summarise."""
     designs = ["np", "morphctr", "early", "emcc", "rmcc", "cosmos-dp", "cosmos-cp", "cosmos"]
+    # The whole design sweep is one job matrix (8 independent cells).
+    matrix = run_design_matrix(designs, [workload])
     rows: List[Dict[str, object]] = []
     for design in designs:
-        result = run_design(design, workload)
+        result = matrix[workload][design]
         rows.append(
             {
                 "design": design,
@@ -757,9 +766,13 @@ def ablation_hybrid(workload: str = "dfs", quiet: bool = False) -> List[Dict[str
     misses (like EMCC), trading extra CTR/MT traffic for warmer counters.
     """
     rows: List[Dict[str, object]] = []
-    np_result = run_design("np", workload)
+    # Baseline plus the hybrid sweep submitted as one job matrix.
+    matrix = run_design_matrix(
+        ["np", "morphctr", "emcc", "cosmos", "cosmos-early"], [workload]
+    )
+    np_result = matrix[workload]["np"]
     for design in ("morphctr", "emcc", "cosmos", "cosmos-early"):
-        result = run_design(design, workload)
+        result = matrix[workload][design]
         rows.append(
             {
                 "design": design,

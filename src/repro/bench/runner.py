@@ -28,8 +28,23 @@ from ..workloads.ml import ML_WORKLOADS, generate_ml_trace
 from ..workloads.spec import SPEC_WORKLOADS, generate_spec_trace
 from ..workloads.trace import Trace
 
-#: Cache directory for generated traces (safe to delete at any time).
-CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".trace_cache"))
+#: Override for the cache root (tests monkeypatch this); ``None`` means
+#: "resolve lazily from ``REPRO_CACHE_DIR`` / the current directory".
+#: Resolved lazily so importing the module never captures a stale CWD and
+#: the environment knob can change between runs in one process.
+CACHE_DIR: Optional[Path] = None
+
+
+def cache_dir() -> Path:
+    """The cache root: ``CACHE_DIR`` override, else env, else CWD-relative.
+
+    Generated traces live directly under this directory; the result cache
+    and run manifests of :mod:`repro.exec` use the ``results/`` and
+    ``manifests/`` subdirectories.  Safe to delete at any time.
+    """
+    if CACHE_DIR is not None:
+        return Path(CACHE_DIR)
+    return Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".trace_cache"))
 
 
 def trace_length() -> int:
@@ -61,24 +76,27 @@ def get_trace(
     num_cores: int = 4,
     max_accesses: Optional[int] = None,
     seed: Optional[int] = None,
+    scale: Optional[float] = None,
 ) -> Trace:
     """Deterministic trace for ``workload``, cached in memory and on disk.
 
     ``workload`` may be any graph kernel, SPEC benchmark, ML model or
     ``mlp``.  ``seed`` overrides the generator's default seed — used by
-    the multi-seed statistics helpers.
+    the multi-seed statistics helpers.  ``scale`` overrides the
+    environment-derived graph scale — used by ``repro.exec`` workers so a
+    job resolved in the parent process replays identically anywhere.
     """
     from ..workloads.serialization import load_trace, save_trace
 
     length = max_accesses if max_accesses is not None else trace_length()
-    scale = graph_scale()
+    scale = scale if scale is not None else graph_scale()
     key = f"{workload}-c{num_cores}-n{length}-g{scale}"
     if seed is not None:
         key += f"-s{seed}"
     cached = _MEMORY_CACHE.get(key)
     if cached is not None:
         return cached
-    path = CACHE_DIR / f"{key}.npz"
+    path = cache_dir() / f"{key}.npz"
     if path.exists():
         trace = load_trace(path)
         _MEMORY_CACHE[key] = trace
@@ -144,16 +162,90 @@ def run_design(
     return result
 
 
+def run_design_matrix(
+    designs: List[str],
+    workloads: List[str],
+    config: Optional[SimulationConfig] = None,
+    num_cores: int = 4,
+    max_accesses: Optional[int] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    timeout: Optional[float] = None,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every (design × workload) cell through :mod:`repro.exec`.
+
+    This is the fan-out entry point the figure/table reproductions use:
+    cells become independent :class:`~repro.exec.jobs.JobSpec` jobs,
+    deduplicated, answered from the on-disk result cache where possible,
+    and executed on a worker pool when ``jobs > 1``.
+
+    ``jobs``/``use_cache``/``timeout`` default to the process-wide
+    execution options (CLI ``--jobs``/``--no-cache`` flags, else the
+    ``REPRO_JOBS``/``REPRO_NO_CACHE``/``REPRO_JOB_TIMEOUT`` environment).
+
+    Returns results indexed as ``matrix[workload][design]``, exactly like
+    :func:`run_matrix`.
+    """
+    from ..exec import ParallelRunner, ResultCache, get_options, make_spec
+
+    options = get_options()
+    jobs = jobs if jobs is not None else options.jobs
+    use_cache = use_cache if use_cache is not None else options.use_cache
+    timeout = timeout if timeout is not None else options.timeout
+
+    # Default-configuration cells share the in-process memo with
+    # run_design(): figures 10-13 intentionally re-read the same runs.
+    def memo_key(design: str, workload: str) -> Optional[tuple]:
+        if config is not None or max_accesses is not None:
+            return None
+        return (design, workload, num_cores, trace_length(), graph_scale())
+
+    matrix: Dict[str, Dict[str, SimulationResult]] = {w: {} for w in workloads}
+    cells: List[tuple] = []  # (workload, design, job_hash)
+    specs = []
+    # Submit design-major: concurrent workers then start on *different*
+    # workloads, so each trace is generated once and cached (.npz) before
+    # the remaining designs need it, instead of every worker racing to
+    # generate the same trace.
+    for design in designs:
+        for workload in workloads:
+            key = memo_key(design, workload)
+            memoised = _RESULT_CACHE.get(key) if key is not None else None
+            if memoised is not None:
+                matrix[workload][design] = memoised
+                continue
+            spec = make_spec(design, workload, config=config, num_cores=num_cores,
+                             max_accesses=max_accesses)
+            cells.append((workload, design, spec.content_hash()))
+            specs.append(spec)
+
+    if specs:
+        root = cache_dir()
+        runner = ParallelRunner(
+            jobs=jobs,
+            cache=ResultCache(root / "results") if use_cache else None,
+            timeout=timeout,
+            manifest_dir=root / "manifests",
+        )
+        results = runner.run(specs)
+        for workload, design, job_hash in cells:
+            result = results[job_hash]
+            matrix[workload][design] = result
+            key = memo_key(design, workload)
+            if key is not None:
+                _RESULT_CACHE[key] = result
+    return matrix
+
+
 def run_matrix(
     designs: List[str],
     workloads: List[str],
     config: Optional[SimulationConfig] = None,
     num_cores: int = 4,
 ) -> Dict[str, Dict[str, SimulationResult]]:
-    """Results indexed as ``matrix[workload][design]``."""
-    matrix: Dict[str, Dict[str, SimulationResult]] = {}
-    for workload in workloads:
-        matrix[workload] = {}
-        for design in designs:
-            matrix[workload][design] = run_design(design, workload, config, num_cores)
-    return matrix
+    """Results indexed as ``matrix[workload][design]``.
+
+    Thin wrapper over :func:`run_design_matrix` kept for its original
+    signature; inherits the process-wide parallelism/caching options.
+    """
+    return run_design_matrix(designs, workloads, config=config, num_cores=num_cores)

@@ -1,0 +1,43 @@
+"""``repro.exec`` — parallel experiment orchestration with result caching.
+
+Turns an experiment's (design × workload × config) cells into independent
+:class:`JobSpec` jobs, executes them on a process pool with per-job
+timeout, bounded retry and graceful serial fallback, and persists every
+:class:`~repro.sim.results.SimulationResult` in a content-addressed
+on-disk :class:`ResultCache` so repeated sweeps cost near-zero simulation
+time.  See ``docs/architecture.md`` ("Execution & caching") for the full
+picture.
+"""
+
+from .cache import CACHE_VERSION, ResultCache, write_json_atomic
+from .jobs import JobSpec, canonical_config_dict, make_spec
+from .options import (
+    ExecutionOptions,
+    get_options,
+    options_from_env,
+    reset_options,
+    set_options,
+)
+from .runner import ExecutionError, ParallelRunner
+from .telemetry import JobRecord, ProgressTicker, RunReport
+from .worker import run_job
+
+__all__ = [
+    "CACHE_VERSION",
+    "ExecutionError",
+    "ExecutionOptions",
+    "JobRecord",
+    "JobSpec",
+    "ParallelRunner",
+    "ProgressTicker",
+    "ResultCache",
+    "RunReport",
+    "canonical_config_dict",
+    "get_options",
+    "make_spec",
+    "options_from_env",
+    "reset_options",
+    "run_job",
+    "set_options",
+    "write_json_atomic",
+]

@@ -1,0 +1,87 @@
+"""Process-wide execution options (CLI flags and environment knobs).
+
+The CLI sets these once per invocation; library entry points
+(``bench.runner.run_design_matrix``) read them as defaults so every
+experiment in a ``reproduce`` sweep inherits ``--jobs``/``--no-cache``
+without threading parameters through each figure function.
+
+Environment fallbacks::
+
+    REPRO_JOBS         default worker count      (default 1 = serial)
+    REPRO_NO_CACHE=1   disable the result cache
+    REPRO_JOB_TIMEOUT  per-job timeout, seconds  (default: none)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Defaults applied by :func:`repro.bench.runner.run_design_matrix`.
+
+    Attributes:
+        jobs: Worker processes; 1 executes in-process (serial).
+        use_cache: Consult/populate the on-disk result cache.
+        timeout: Per-job timeout in seconds (parallel mode only).
+        retries: Resubmissions allowed after a failure or timeout.
+    """
+
+    jobs: int = 1
+    use_cache: bool = True
+    timeout: Optional[float] = None
+    retries: int = 1
+
+
+def options_from_env() -> ExecutionOptions:
+    """Options derived purely from the environment."""
+    timeout_raw = os.environ.get("REPRO_JOB_TIMEOUT")
+    return ExecutionOptions(
+        jobs=max(1, int(os.environ.get("REPRO_JOBS", "1"))),
+        use_cache=not os.environ.get("REPRO_NO_CACHE"),
+        timeout=float(timeout_raw) if timeout_raw else None,
+    )
+
+
+_OPTIONS: Optional[ExecutionOptions] = None
+
+
+def get_options() -> ExecutionOptions:
+    """The active options (explicitly set, else environment-derived)."""
+    if _OPTIONS is not None:
+        return _OPTIONS
+    return options_from_env()
+
+
+def set_options(
+    jobs: object = _UNSET,
+    use_cache: object = _UNSET,
+    timeout: object = _UNSET,
+    retries: object = _UNSET,
+) -> ExecutionOptions:
+    """Override selected fields process-wide; unspecified fields keep
+    their current (or environment-derived) values.  Returns the result."""
+    global _OPTIONS
+    current = get_options()
+    updates = {}
+    if jobs is not _UNSET:
+        updates["jobs"] = max(1, int(jobs))  # type: ignore[arg-type]
+    if use_cache is not _UNSET:
+        updates["use_cache"] = bool(use_cache)
+    if timeout is not _UNSET:
+        updates["timeout"] = timeout  # type: ignore[typeddict-item]
+    if retries is not _UNSET:
+        updates["retries"] = max(0, int(retries))  # type: ignore[arg-type]
+    _OPTIONS = replace(current, **updates)  # type: ignore[arg-type]
+    return _OPTIONS
+
+
+def reset_options() -> None:
+    """Drop explicit overrides; fall back to the environment."""
+    global _OPTIONS
+    _OPTIONS = None

@@ -1,0 +1,187 @@
+"""Progress and telemetry for experiment runs.
+
+Two consumers, two shapes:
+
+* a **live stderr ticker** for humans watching a long sweep — jobs
+  done/total, cache hit rate, running workers, elapsed wall time — which
+  stays silent when stderr is not a terminal (or ``REPRO_NO_TICKER`` is
+  set), so test output and shell pipelines stay clean;
+* a **machine-readable run manifest** (JSON) recording per-job status,
+  attempts, wall time and cache provenance plus run-level aggregates —
+  written atomically next to the result cache so later tooling can mine
+  sweep history.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Manifest layout version.
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class JobRecord:
+    """Telemetry for a single job in one run."""
+
+    job_hash: str
+    design: str
+    workload: str
+    status: str  # "cached" | "ok" | "failed" | "timeout"
+    attempts: int = 0
+    wall_time: float = 0.0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "job_hash": self.job_hash,
+            "design": self.design,
+            "workload": self.workload,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_time_s": round(self.wall_time, 4),
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+@dataclass
+class RunReport:
+    """Aggregated telemetry for one :class:`~repro.exec.runner.ParallelRunner` run."""
+
+    jobs_requested: int = 1
+    workers: int = 1
+    mode: str = "serial"  # "serial" | "pool"
+    records: List[JobRecord] = field(default_factory=list)
+    wall_time: float = 0.0
+    manifest_path: Optional[Path] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.records if record.status == "cached")
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for record in self.records if record.status in ("ok", "cached"))
+
+    @property
+    def failed(self) -> int:
+        return self.total - self.completed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.cache_hits / self.total
+
+    @property
+    def simulated_time(self) -> float:
+        """Summed wall time of jobs that actually simulated."""
+        return sum(r.wall_time for r in self.records if r.status != "cached")
+
+    @property
+    def worker_utilisation(self) -> float:
+        """Busy-time over capacity: ``sum(job time) / (workers * elapsed)``."""
+        if self.wall_time <= 0.0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.simulated_time / (self.workers * self.wall_time))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "jobs_requested": self.jobs_requested,
+            "workers": self.workers,
+            "mode": self.mode,
+            "totals": {
+                "jobs": self.total,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cache_hits": self.cache_hits,
+                "cache_hit_rate": round(self.cache_hit_rate, 4),
+                "wall_time_s": round(self.wall_time, 4),
+                "simulated_time_s": round(self.simulated_time, 4),
+                "worker_utilisation": round(self.worker_utilisation, 4),
+            },
+            "jobs": [record.to_dict() for record in self.records],
+        }
+
+    def write_manifest(self, directory: Path) -> Optional[Path]:
+        """Atomically write the manifest into ``directory``; best-effort."""
+        from .cache import write_json_atomic
+
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        path = Path(directory) / f"run-{stamp}-{os.getpid()}-{id(self) & 0xFFFF:04x}.json"
+        try:
+            write_json_atomic(path, self.to_dict())
+        except OSError:
+            return None
+        self.manifest_path = path
+        return path
+
+    def summary_line(self) -> str:
+        """One human-readable line describing the run."""
+        parts = [
+            f"{self.total} jobs in {self.wall_time:.1f}s",
+            f"{self.total - self.cache_hits} simulated",
+            f"{self.cache_hits} cache hits ({100 * self.cache_hit_rate:.0f}%)",
+            f"{self.workers} worker{'s' if self.workers != 1 else ''} ({self.mode})",
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        if self.manifest_path is not None:
+            parts.append(f"manifest {self.manifest_path}")
+        return "[repro.exec] " + " · ".join(parts)
+
+
+class ProgressTicker:
+    """Single-line live progress display on stderr.
+
+    Enabled only when stderr is a TTY and ``REPRO_NO_TICKER`` is unset;
+    otherwise every method is a no-op, making the ticker safe to drive
+    unconditionally from the runner.
+    """
+
+    def __init__(self, total: int, enabled: Optional[bool] = None,
+                 min_interval: float = 0.1) -> None:
+        if enabled is None:
+            enabled = sys.stderr.isatty() and not os.environ.get("REPRO_NO_TICKER")
+        self.total = total
+        self.enabled = enabled
+        self.min_interval = min_interval
+        self._started = time.monotonic()
+        self._last_draw = 0.0
+        self._dirty = False
+
+    def update(self, done: int, cache_hits: int, running: int, force: bool = False) -> None:
+        """Redraw the ticker line (rate-limited unless ``force``)."""
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_draw < self.min_interval:
+            self._dirty = True
+            return
+        self._last_draw = now
+        self._dirty = False
+        elapsed = now - self._started
+        line = (
+            f"\r[repro.exec] {done}/{self.total} jobs"
+            f" · {cache_hits} cached · {running} running · {elapsed:.1f}s"
+        )
+        sys.stderr.write(line.ljust(70))
+        sys.stderr.flush()
+
+    def close(self) -> None:
+        """Terminate the ticker line so subsequent output starts cleanly."""
+        if self.enabled:
+            sys.stderr.write("\r" + " " * 70 + "\r")
+            sys.stderr.flush()

@@ -1,0 +1,34 @@
+"""Worker-side job execution.
+
+:func:`run_job` is the function the process pool ships to workers; it must
+stay a top-level importable so it pickles by reference.  A job is entirely
+self-describing (see :class:`~repro.exec.jobs.JobSpec`), so execution never
+consults environment knobs — the same spec produces the same result in a
+worker process, a thread, or inline in the parent.
+"""
+
+from __future__ import annotations
+
+from ..sim.results import SimulationResult
+from ..sim.simulator import simulate
+from .jobs import JobSpec
+
+
+def run_job(spec: JobSpec) -> SimulationResult:
+    """Execute one simulation cell described by ``spec``.
+
+    Trace generation goes through the shared trace cache
+    (``bench.runner.get_trace``), so concurrent workers converging on one
+    workload pay the generation cost at most once per process and reuse
+    the on-disk ``.npz`` across processes.
+    """
+    from ..bench.runner import get_trace
+
+    trace = get_trace(
+        spec.workload,
+        num_cores=spec.num_cores,
+        max_accesses=spec.trace_length,
+        seed=spec.seed,
+        scale=spec.graph_scale,
+    )
+    return simulate(spec.design, trace, spec.config, workload=spec.workload)

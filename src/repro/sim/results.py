@@ -104,6 +104,70 @@ class SimulationResult:
             return smat_unprotected(inputs)
         return smat(inputs)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary losslessly capturing every field.
+
+        Floats survive a JSON round-trip exactly (Python serialises them
+        with ``repr`` precision), so :meth:`from_dict` reconstructs a
+        record equal to the original — the property the on-disk result
+        cache relies on.
+        """
+        return {
+            "design": self.design,
+            "workload": self.workload,
+            "accesses": self.accesses,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "total_latency": self.total_latency,
+            "l1_miss_rate": self.l1_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "llc_miss_rate": self.llc_miss_rate,
+            "ctr_miss_rate": self.ctr_miss_rate,
+            "traffic": {
+                "data_reads": self.traffic.data_reads,
+                "data_writes": self.traffic.data_writes,
+                "ctr_reads": self.traffic.ctr_reads,
+                "ctr_writes": self.traffic.ctr_writes,
+                "mt_reads": self.traffic.mt_reads,
+                "mac_accesses": self.traffic.mac_accesses,
+                "reencryption_requests": self.traffic.reencryption_requests,
+            },
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            KeyError/TypeError: If ``data`` does not have the expected
+                shape — callers treating deserialisation as fallible (the
+                result cache) catch these and discard the entry.
+        """
+        traffic = data["traffic"]
+        return cls(
+            design=str(data["design"]),
+            workload=str(data["workload"]),
+            accesses=int(data["accesses"]),
+            instructions=int(data["instructions"]),
+            cycles=float(data["cycles"]),
+            total_latency=int(data["total_latency"]),
+            l1_miss_rate=float(data["l1_miss_rate"]),
+            l2_miss_rate=float(data["l2_miss_rate"]),
+            llc_miss_rate=float(data["llc_miss_rate"]),
+            ctr_miss_rate=float(data["ctr_miss_rate"]),
+            traffic=TrafficStats(
+                data_reads=int(traffic["data_reads"]),
+                data_writes=int(traffic["data_writes"]),
+                ctr_reads=int(traffic["ctr_reads"]),
+                ctr_writes=int(traffic["ctr_writes"]),
+                mt_reads=int(traffic["mt_reads"]),
+                mac_accesses=int(traffic["mac_accesses"]),
+                reencryption_requests=int(traffic["reencryption_requests"]),
+            ),
+            extra=dict(data.get("extra", {})),
+        )
+
     def summary(self) -> Dict[str, object]:
         """Flat dictionary for report tables."""
         data = {

@@ -10,6 +10,8 @@ generated trace this way.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -26,6 +28,10 @@ FORMAT_VERSION = 1
 
 def save_trace(trace: Trace, path: PathLike) -> Path:
     """Write ``trace`` to ``path`` as a compressed npz archive.
+
+    The archive is written to a temporary file and moved into place with
+    :func:`os.replace`, so concurrent readers (e.g. parallel ``repro.exec``
+    workers racing to cache the same trace) never observe a torn file.
 
     Returns the actual path written (a ``.npz`` suffix is added when
     missing, matching numpy's behaviour).
@@ -47,13 +53,25 @@ def save_trace(trace: Trace, path: PathLike) -> Path:
         {"version": FORMAT_VERSION, "name": trace.name, "metadata": trace.metadata},
         default=str,
     )
-    np.savez_compressed(
-        path,
-        addresses=addresses,
-        types=types,
-        cores=cores,
-        header=np.frombuffer(header.encode(), dtype=np.uint8),
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.stem + ".", suffix=".tmp.npz"
     )
+    os.close(handle)
+    try:
+        np.savez_compressed(
+            tmp_name,
+            addresses=addresses,
+            types=types,
+            cores=cores,
+            header=np.frombuffer(header.encode(), dtype=np.uint8),
+        )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

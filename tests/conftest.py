@@ -12,6 +12,25 @@ from repro.workloads.graph import preferential_attachment_graph
 from repro.workloads.graph_algos import generate_graph_trace
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_exec_env(monkeypatch):
+    """Insulate every test from ambient execution knobs.
+
+    The suite's fixtures assert exact trace lengths and serial behaviour,
+    so an outer ``REPRO_QUICK=1`` (e.g. the CI workflow) or ``REPRO_JOBS``
+    must not leak in.  Explicit exec-option overrides are also dropped
+    between tests.
+    """
+    from repro.exec import reset_options
+
+    for var in ("REPRO_QUICK", "REPRO_JOBS", "REPRO_NO_CACHE", "REPRO_JOB_TIMEOUT",
+                "REPRO_TRACE_LEN", "REPRO_GRAPH_SCALE", "REPRO_CACHE_DIR"):
+        monkeypatch.delenv(var, raising=False)
+    reset_options()
+    yield
+    reset_options()
+
+
 @pytest.fixture
 def tiny_config() -> SimulationConfig:
     """A single-core configuration with very small caches."""

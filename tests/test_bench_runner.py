@@ -87,3 +87,40 @@ def test_all_paper_workloads_resolvable():
     names = list(GRAPH_WORKLOADS) + list(SPEC_WORKLOADS) + list(ML_WORKLOADS) + ["mlp"]
     for name in names:
         runner._generate(name, num_cores=1, length=64, scale=0.02)
+
+
+def test_cache_dir_is_lazy(monkeypatch, tmp_path):
+    # No module-level override: the environment knob is honoured at call
+    # time, not frozen at import time.
+    monkeypatch.setattr(runner, "CACHE_DIR", None)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "fromenv"))
+    assert runner.cache_dir() == tmp_path / "fromenv"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert runner.cache_dir().name == ".trace_cache"
+    # An explicit override (what tests use) wins over everything.
+    monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "explicit")
+    assert runner.cache_dir() == tmp_path / "explicit"
+
+
+def test_run_design_matrix_shape_and_memo_sharing(quick_env):
+    matrix = runner.run_design_matrix(["np", "morphctr"], ["dfs"], jobs=1)
+    assert set(matrix) == {"dfs"}
+    assert set(matrix["dfs"]) == {"np", "morphctr"}
+    # Default-config cells land in the same in-process memo run_design uses.
+    assert runner.run_design("np", "dfs") is matrix["dfs"]["np"]
+
+
+def test_run_design_matrix_disk_cache_hit(quick_env):
+    runner.run_design_matrix(["np"], ["dfs"], jobs=1)
+    runner._RESULT_CACHE.clear()
+    runner._MEMORY_CACHE.clear()
+    again = runner.run_design_matrix(["np"], ["dfs"], jobs=1)
+    assert again["dfs"]["np"].accesses == 2000
+    assert len(list((runner.cache_dir() / "results").glob("*.json"))) == 1
+
+
+def test_save_trace_is_atomic_no_temp_leftovers(quick_env):
+    runner.get_trace("dfs")
+    leftovers = [p for p in runner.cache_dir().iterdir()
+                 if ".tmp" in p.name]
+    assert leftovers == []

@@ -1,0 +1,110 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+from repro.exec import CACHE_VERSION, JobSpec, ResultCache
+from repro.mem.stats import TrafficStats
+from repro.sim.config import small_test_config
+from repro.sim.results import SimulationResult
+
+
+def make_result(**overrides):
+    base = dict(
+        design="morphctr",
+        workload="dfs",
+        accesses=500,
+        instructions=2000,
+        cycles=1234.5,
+        total_latency=4000,
+        l1_miss_rate=0.4,
+        l2_miss_rate=0.6,
+        llc_miss_rate=0.9,
+        ctr_miss_rate=0.8,
+        traffic=TrafficStats(data_reads=100, mt_reads=300),
+        extra={"prediction_accuracy": 0.875},
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+def make_job(**overrides):
+    base = dict(design="morphctr", workload="dfs", config=small_test_config(),
+                num_cores=1, trace_length=2000, graph_scale=0.05)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    spec, result = make_job(), make_result()
+    cache.put(spec, result)
+    loaded = cache.get(spec.content_hash())
+    assert loaded is not None
+    assert loaded == result  # dataclass equality: every metric identical
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_missing_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    assert cache.get("0" * 64) is None
+    assert cache.misses == 1
+    assert cache.hit_rate == 0.0
+
+
+def test_corrupt_entry_is_tolerated_and_removed(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    spec = make_job()
+    cache.put(spec, make_result())
+    path = cache.path_for(spec.content_hash())
+    path.write_text("{ totally not json")
+    assert cache.get(spec.content_hash()) is None
+    assert not path.exists()  # corrupt file cleaned up
+    # The cell can be re-cached afterwards.
+    cache.put(spec, make_result())
+    assert cache.get(spec.content_hash()) is not None
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    spec = make_job()
+    cache.put(spec, make_result())
+    path = cache.path_for(spec.content_hash())
+    path.write_text(path.read_text()[: 40])  # simulate a torn write
+    assert cache.get(spec.content_hash()) is None
+
+
+def test_version_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    spec = make_job()
+    cache.put(spec, make_result())
+    path = cache.path_for(spec.content_hash())
+    entry = json.loads(path.read_text())
+    entry["cache_version"] = CACHE_VERSION + 1
+    path.write_text(json.dumps(entry))
+    assert cache.get(spec.content_hash()) is None
+
+
+def test_entry_hash_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    spec = make_job()
+    cache.put(spec, make_result())
+    other_hash = "f" * 64
+    cache.path_for(spec.content_hash()).rename(cache.path_for(other_hash))
+    assert cache.get(other_hash) is None
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    for seed in range(5):
+        cache.put(make_job(seed=seed), make_result())
+    leftovers = [p for p in (tmp_path / "results").iterdir()
+                 if not p.name.endswith(".json")]
+    assert leftovers == []
+
+
+def test_put_failure_is_nonfatal(tmp_path):
+    blocker = tmp_path / "results"
+    blocker.write_text("a file where the cache directory should be")
+    cache = ResultCache(blocker)
+    cache.put(make_job(), make_result())  # must not raise
+    assert cache.get(make_job().content_hash()) is None

@@ -1,0 +1,212 @@
+"""Tests for the parallel runner: fallback, retry, timeout, determinism."""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import runner as bench_runner
+from repro.exec import (
+    ExecutionError,
+    JobSpec,
+    ParallelRunner,
+    ResultCache,
+    make_spec,
+)
+from repro.sim.config import small_test_config
+
+
+def make_job(**overrides):
+    base = dict(design="np", workload="dfs", config=small_test_config(),
+                num_cores=1, trace_length=400, graph_scale=0.02)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+# Stub job functions must live at module top level so the pool can pickle
+# them by reference.
+def _echo_job(spec):
+    return f"done:{spec.design}/{spec.workload}"
+
+
+def _boom_job(spec):
+    raise RuntimeError("synthetic failure")
+
+
+def _hang_job(spec):
+    time.sleep(60)
+
+
+def _hang_once_job(spec):
+    # First attempt: leave a marker and wedge.  Retry: return promptly.
+    flag = Path(spec.workload)
+    if not flag.exists():
+        flag.write_text("attempt 1")
+        time.sleep(60)
+    return "recovered"
+
+
+@pytest.fixture
+def quick_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_LEN", "2000")
+    monkeypatch.setenv("REPRO_GRAPH_SCALE", "0.02")
+    monkeypatch.setattr(bench_runner, "CACHE_DIR", tmp_path / "traces")
+    bench_runner._MEMORY_CACHE.clear()
+    bench_runner._RESULT_CACHE.clear()
+    yield
+    bench_runner._MEMORY_CACHE.clear()
+    bench_runner._RESULT_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Serial execution and retries
+# ----------------------------------------------------------------------
+def test_serial_executes_in_process():
+    spec = make_job()
+    out = ParallelRunner(jobs=1, fn=_echo_job, ticker=False).run([spec])
+    assert out[spec.content_hash()] == "done:np/dfs"
+
+
+def test_duplicate_specs_collapse_to_one_job():
+    calls = []
+
+    def counting(spec):
+        calls.append(spec.design)
+        return "ok"
+
+    spec = make_job()
+    runner = ParallelRunner(jobs=1, fn=counting, ticker=False)
+    out = runner.run([spec, make_job(), spec])
+    assert calls == ["np"]
+    assert len(out) == 1
+    assert runner.report.total == 1
+
+
+def test_retry_then_success():
+    attempts = []
+
+    def flaky(spec):
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise RuntimeError("transient")
+        return "ok"
+
+    spec = make_job()
+    runner = ParallelRunner(jobs=1, retries=2, fn=flaky, ticker=False)
+    out = runner.run([spec])
+    assert out[spec.content_hash()] == "ok"
+    assert len(attempts) == 3
+    record = runner.report.records[0]
+    assert record.status == "ok" and record.attempts == 3
+
+
+def test_retries_exhausted_raises_execution_error():
+    runner = ParallelRunner(jobs=1, retries=1, fn=_boom_job, ticker=False)
+    with pytest.raises(ExecutionError) as excinfo:
+        runner.run([make_job()])
+    assert "synthetic failure" in str(excinfo.value)
+    assert runner.report.failed == 1
+    assert runner.report.records[0].attempts == 2  # 1 try + 1 retry
+
+
+def test_non_strict_returns_partial_results():
+    def half(spec):
+        if spec.design == "np":
+            raise RuntimeError("nope")
+        return "ok"
+
+    good, bad = make_job(design="morphctr"), make_job(design="np")
+    runner = ParallelRunner(jobs=1, retries=0, fn=half, strict=False, ticker=False)
+    out = runner.run([good, bad])
+    assert out == {good.content_hash(): "ok"}
+
+
+# ----------------------------------------------------------------------
+# Cache integration
+# ----------------------------------------------------------------------
+def test_cache_short_circuits_execution(quick_env, tmp_path):
+    spec = make_spec("np", "dfs", config=small_test_config(), num_cores=1,
+                     max_accesses=400)
+    cache = ResultCache(tmp_path / "results")
+    first = ParallelRunner(jobs=1, cache=cache, ticker=False)
+    out1 = first.run([spec])
+    assert first.report.cache_hits == 0
+
+    second = ParallelRunner(jobs=1, cache=ResultCache(tmp_path / "results"),
+                            ticker=False)
+    out2 = second.run([spec])
+    assert second.report.cache_hits == 1
+    assert second.report.cache_hit_rate == 1.0
+    digest = spec.content_hash()
+    assert out2[digest] == out1[digest]  # metric-identical after round-trip
+
+
+# ----------------------------------------------------------------------
+# Pool mode: timeout and recovery
+# ----------------------------------------------------------------------
+def test_timeout_kills_hung_job():
+    runner = ParallelRunner(jobs=2, timeout=0.3, retries=0, fn=_hang_job,
+                            ticker=False)
+    started = time.monotonic()
+    with pytest.raises(ExecutionError):
+        runner.run([make_job()])
+    assert time.monotonic() - started < 30  # did not wait for the sleep
+    record = runner.report.records[0]
+    assert record.status == "timeout"
+    assert "timeout" in record.error
+
+
+def test_timeout_then_retry_recovers(tmp_path):
+    flag = tmp_path / "attempted.flag"
+    spec = make_job(workload=str(flag))
+    runner = ParallelRunner(jobs=2, timeout=1.0, retries=1, fn=_hang_once_job,
+                            ticker=False)
+    out = runner.run([spec])
+    assert out[spec.content_hash()] == "recovered"
+    record = runner.report.records[0]
+    assert record.status == "ok" and record.attempts == 2
+
+
+def test_pool_mode_runs_real_jobs(quick_env):
+    specs = [make_spec(design, "dfs", config=small_test_config(), num_cores=1,
+                       max_accesses=400)
+             for design in ("np", "morphctr")]
+    runner = ParallelRunner(jobs=2, ticker=False)
+    out = runner.run(specs)
+    assert len(out) == 2
+    assert runner.report.mode == "pool"
+    assert all(record.status == "ok" for record in runner.report.records)
+
+
+# ----------------------------------------------------------------------
+# Determinism: parallel == serial, metric for metric
+# ----------------------------------------------------------------------
+def test_parallel_results_identical_to_serial(quick_env):
+    designs, workloads = ["np", "morphctr"], ["dfs"]
+    serial = bench_runner.run_design_matrix(designs, workloads, jobs=1,
+                                            use_cache=False)
+    bench_runner._RESULT_CACHE.clear()
+    parallel = bench_runner.run_design_matrix(designs, workloads, jobs=2,
+                                              use_cache=False)
+    for workload in workloads:
+        for design in designs:
+            assert parallel[workload][design].to_dict() == \
+                serial[workload][design].to_dict()
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def test_manifest_written_and_machine_readable(tmp_path):
+    import json
+
+    runner = ParallelRunner(jobs=1, fn=_echo_job, ticker=False,
+                            manifest_dir=tmp_path / "manifests")
+    runner.run([make_job(), make_job(design="morphctr")])
+    path = runner.report.manifest_path
+    assert path is not None and path.exists()
+    manifest = json.loads(path.read_text())
+    assert manifest["totals"]["jobs"] == 2
+    assert manifest["totals"]["failed"] == 0
+    assert {job["design"] for job in manifest["jobs"]} == {"np", "morphctr"}
+    assert 0.0 <= manifest["totals"]["worker_utilisation"] <= 1.0

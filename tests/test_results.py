@@ -72,3 +72,32 @@ def test_summary_flattens_extras():
     assert summary["design"] == "morphctr"
     assert summary["prediction_accuracy"] == pytest.approx(0.8512, abs=1e-4)
     assert summary["mt_reads"] == 300
+
+
+def test_to_dict_from_dict_roundtrip_is_exact():
+    result = make_result(
+        cycles=12345.6789012345,  # full-precision float must survive
+        traffic=TrafficStats(data_reads=100, data_writes=7, ctr_reads=3,
+                             ctr_writes=2, mt_reads=300, mac_accesses=5,
+                             reencryption_requests=1),
+    )
+    result.extra["prediction_accuracy"] = 0.8512345678901234
+    restored = SimulationResult.from_dict(result.to_dict())
+    assert restored == result  # dataclass equality: every field exact
+    assert restored.cycles == result.cycles
+    assert restored.traffic == result.traffic
+    assert restored.extra == result.extra
+
+
+def test_roundtrip_survives_json():
+    import json
+
+    result = make_result(cycles=1.0000000000000002)
+    blob = json.dumps(result.to_dict())
+    restored = SimulationResult.from_dict(json.loads(blob))
+    assert restored == result
+
+
+def test_from_dict_rejects_malformed_payload():
+    with pytest.raises((KeyError, TypeError)):
+        SimulationResult.from_dict({"design": "np"})
