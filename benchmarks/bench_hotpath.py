@@ -1,0 +1,35 @@
+"""Hot-path throughput: accesses/sec per design on the fixed Zipf trace.
+
+Unlike the figure/table benchmarks this one tracks the *simulator itself*:
+it runs :func:`repro.bench.perf.run_benchmark` once and writes the
+``BENCH_hotpath.json`` report next to the current directory, so CI can
+archive throughput over time.  Run standalone via::
+
+    python -m repro.bench.perf [--profile DESIGN]
+"""
+
+from pathlib import Path
+
+from repro.bench.perf import DEFAULT_DESIGNS, run_benchmark, write_report
+
+
+def test_hotpath_throughput(run_once):
+    payload = run_once(run_benchmark)
+    write_report(payload, Path("BENCH_hotpath.json"))
+    results = payload["results"]
+    assert set(results) == set(DEFAULT_DESIGNS)
+    for entry in results.values():
+        assert entry["accesses"] > 0
+        assert entry["accesses_per_sec"] > 0
+    # The unprotected design does strictly less work per access than the
+    # secure ones; if it is not the fastest, timing is broken.
+    assert (
+        payload["results"]["np"]["accesses_per_sec"]
+        >= payload["results"]["cosmos"]["accesses_per_sec"]
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from repro.bench.perf import main
+
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""Tracked hot-path performance harness.
+
+Measures end-to-end simulator throughput (accesses/second) per design on a
+fixed, seeded microbenchmark trace and writes a machine-readable report —
+``BENCH_hotpath.json`` at the repo root — so hot-path regressions show up
+as a number in the diff rather than as a vague "it feels slower".
+
+The measured path is the same one every experiment takes:
+``Simulator.run`` over an array-native :class:`~repro.workloads.trace.Trace`
+via ``design.process_fast``.  The workload is a Zipf-popularity trace
+(``zipf_trace``) under the harness's standard scaled paper configuration,
+so cache/CTR behaviour is representative of the figure reproductions.
+
+Usage::
+
+    python -m repro.bench.perf                    # measure, write report
+    python -m repro.bench.perf --designs cosmos   # subset of designs
+    python -m repro.bench.perf --profile cosmos   # cProfile top-N instead
+
+or via the pytest-benchmark wrapper ``benchmarks/bench_hotpath.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import platform
+import pstats
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.config import SimulationConfig
+from ..sim.simulator import Simulator, build_design
+from ..workloads.micro import zipf_trace
+from ..workloads.trace import Trace
+from .runner import default_config
+
+#: Report schema identifier; bump on incompatible payload changes.
+SCHEMA = "repro.bench.perf/v1"
+
+#: Designs tracked by default: the unprotected bound, the secure baseline
+#: and the full COSMOS design (slowest hot path — RL + predictor on top).
+DEFAULT_DESIGNS = ("np", "morphctr", "cosmos")
+
+#: Fixed trace parameters — the report is only comparable run-to-run
+#: because these never drift silently.
+TRACE_N = 100_000
+TRACE_SEED = 42
+TRACE_WRITE_FRACTION = 0.3
+
+#: Default report location: the repository root (two levels above src/).
+DEFAULT_OUTPUT = "BENCH_hotpath.json"
+
+
+def hotpath_trace(
+    n: int = TRACE_N,
+    seed: int = TRACE_SEED,
+    write_fraction: float = TRACE_WRITE_FRACTION,
+) -> Trace:
+    """The harness's fixed seeded workload (Zipf popularity, mixed R/W)."""
+    return zipf_trace(n=n, seed=seed, write_fraction=write_fraction)
+
+
+def measure_design(
+    design_name: str,
+    trace: Trace,
+    config: Optional[SimulationConfig] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time ``design_name`` over ``trace``; returns one report entry.
+
+    Each repeat builds a fresh design (designs are stateful) and runs the
+    whole trace; the *best* wall-clock time is reported, which is the
+    standard way to suppress scheduler noise in throughput benchmarks.
+    Key simulation metrics ride along so a perf change that accidentally
+    shifts behaviour is visible in the same diff.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    config = config if config is not None else default_config()
+    arrays = trace.arrays()  # materialise outside the timed region
+    runs: List[float] = []
+    result = None
+    for _ in range(repeats):
+        design = build_design(design_name, config)
+        simulator = Simulator(design, config, workload=trace.name)
+        started = time.perf_counter()
+        result = simulator.run(arrays)
+        runs.append(time.perf_counter() - started)
+    best = min(runs)
+    assert result is not None
+    return {
+        "accesses": result.accesses,
+        "best_seconds": best,
+        "runs_seconds": runs,
+        "accesses_per_sec": result.accesses / best if best > 0 else 0.0,
+        "cycles": result.cycles,
+        "total_latency": result.total_latency,
+        "ctr_miss_rate": result.ctr_miss_rate,
+    }
+
+
+def run_benchmark(
+    designs: Sequence[str] = DEFAULT_DESIGNS,
+    n: int = TRACE_N,
+    seed: int = TRACE_SEED,
+    repeats: int = 3,
+    config: Optional[SimulationConfig] = None,
+) -> Dict[str, object]:
+    """Measure every design and assemble the full report payload."""
+    trace = hotpath_trace(n=n, seed=seed)
+    results: Dict[str, object] = {}
+    for name in designs:
+        results[name] = measure_design(name, trace, config=config, repeats=repeats)
+    return {
+        "schema": SCHEMA,
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "trace": {
+            "kind": "zipf",
+            "n": n,
+            "seed": seed,
+            "write_fraction": TRACE_WRITE_FRACTION,
+        },
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def write_report(payload: Dict[str, object], path: Path) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    """Human-readable one-line-per-design summary of a report payload."""
+    lines = []
+    for name, entry in payload["results"].items():  # type: ignore[union-attr]
+        lines.append(
+            f"{name:>10}: {entry['accesses_per_sec']:>12,.0f} accesses/sec"
+            f"  (best of {len(entry['runs_seconds'])}:"
+            f" {entry['best_seconds']:.3f}s for {entry['accesses']:,} accesses)"
+        )
+    return "\n".join(lines)
+
+
+def profile_design(
+    design_name: str,
+    n: int = TRACE_N,
+    seed: int = TRACE_SEED,
+    top: int = 25,
+    config: Optional[SimulationConfig] = None,
+) -> str:
+    """cProfile one design over the fixed trace; returns the top-N table."""
+    config = config if config is not None else default_config()
+    arrays = hotpath_trace(n=n, seed=seed).arrays()
+    design = build_design(design_name, config)
+    simulator = Simulator(design, config)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulator.run(arrays)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """CLI entry point (``python -m repro.bench.perf``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--designs", nargs="+", default=list(DEFAULT_DESIGNS),
+        help="designs to measure (default: %(default)s)",
+    )
+    parser.add_argument("--n", type=int, default=TRACE_N, help="trace length")
+    parser.add_argument("--seed", type=int, default=TRACE_SEED, help="trace seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per design; best is reported (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path(DEFAULT_OUTPUT),
+        help="report path (default: %(default)s in the current directory)",
+    )
+    parser.add_argument(
+        "--profile", metavar="DESIGN", default=None,
+        help="cProfile DESIGN instead of benchmarking; prints the top-N table",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25,
+        help="rows of the cProfile table with --profile (default: %(default)s)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.profile is not None:
+        print(profile_design(args.profile, n=args.n, seed=args.seed, top=args.top))
+        return 0
+    payload = run_benchmark(
+        designs=args.designs, n=args.n, seed=args.seed, repeats=args.repeats
+    )
+    write_report(payload, args.output)
+    print(format_report(payload))
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -20,6 +20,9 @@ _GAMMA = 0x9E3779B97F4A7C15
 #: Default number of RL states (paper Table 2: 16,384 Q-table entries).
 DEFAULT_NUM_STATES = 16384
 
+#: Bits 6..47 of the physical address == low 42 bits of the block address.
+_STATE_MASK = (1 << 42) - 1
+
 
 def splitmix64(value: int) -> int:
     """One splitmix64 finalisation round of ``value`` (64-bit)."""
@@ -54,7 +57,17 @@ def hash_block(block_address: int, num_states: int = DEFAULT_NUM_STATES) -> int:
 
     Convenience wrapper: the simulator works in block addresses, and the
     paper's hash input (bits 6..47) is exactly the block address's low bits.
+
+    Called once per L1 miss and once per CTR classification, so the
+    splitmix64 round is inlined here (identical arithmetic to
+    :func:`splitmix64`).
     """
     if num_states <= 0:
         raise ValueError("num_states must be positive")
-    return splitmix64(block_address & ((1 << 42) - 1)) % num_states
+    value = ((block_address & _STATE_MASK) + _GAMMA) & _MASK64
+    value ^= value >> 30
+    value = (value * _MIX1) & _MASK64
+    value ^= value >> 27
+    value = (value * _MIX2) & _MASK64
+    value ^= value >> 31
+    return value % num_states

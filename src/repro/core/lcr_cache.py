@@ -19,7 +19,7 @@ bad line among the eviction candidates.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, Optional
 
 from ..mem.replacement import CacheLine, ReplacementPolicy
 
@@ -79,7 +79,7 @@ class LcrReplacementPolicy(ReplacementPolicy):
     def on_hit(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
         self._touch(line)
 
-    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
+    def victim(self, set_index: int, lines: Iterable[CacheLine]) -> CacheLine:
         # Age resident good lines under replacement pressure; demote the
         # ones whose confidence has decayed away.
         if self.aging:

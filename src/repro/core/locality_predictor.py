@@ -16,14 +16,14 @@ from typing import Optional, Tuple
 from .cet import CtrEvaluationTable
 from .config import CosmosConfig
 from .hashing import hash_block
-from .rl import EpsilonGreedy, QTable
+from .rl import Q_MAX, Q_MIN, EpsilonGreedy, QTable
 
 #: Action indices.
 BAD_LOCALITY = 0
 GOOD_LOCALITY = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalityPredictorStats:
     """Prediction/grading counters for the locality predictor."""
 
@@ -68,11 +68,12 @@ class CtrLocalityPredictor:
         self._alpha = hyper.alpha_c
         self._gamma = hyper.gamma_c
         self._rewards = self.config.ctr_rewards
+        self._num_states = self.config.num_states
         self.stats = LocalityPredictorStats()
 
     def state_of(self, ctr_block: int) -> int:
         """Hashed RL state for a counter-line address."""
-        return hash_block(ctr_block, self.config.num_states)
+        return hash_block(ctr_block, self._num_states)
 
     def predict(self, ctr_block: int) -> Tuple[int, int]:
         """Run one decision+training step for a CTR access.
@@ -86,50 +87,76 @@ class CtrLocalityPredictor:
             Tuple ``(action, score)`` where ``action`` is
             :data:`GOOD_LOCALITY`/:data:`BAD_LOCALITY` and ``score`` is the
             8-bit quantised Q-value used by the LCR-CTR cache.
+
+        The selection and Q-update helpers are inlined (same operations,
+        RNG order and counters as the :class:`~repro.core.rl` reference
+        implementations) — this runs on every CTR access of a COSMOS
+        design, so the call overhead is measurable.
         """
-        state = self.state_of(ctr_block)
-        action = self._selector.select(self.q_table, state)
-        self.stats.predictions += 1
+        table = self.q_table._table
+        state = hash_block(ctr_block, self._num_states)
+        selector = self._selector
+        if selector._random() < selector.epsilon:
+            selector.explorations += 1
+            action = selector._randrange(2)
+        else:
+            selector.exploitations += 1
+            row = table[state]
+            action = 1 if row[1] > row[0] else 0
+        stats = self.stats
+        stats.predictions += 1
         if action == GOOD_LOCALITY:
-            self.stats.good_predictions += 1
+            stats.good_predictions += 1
 
         # Grade against CET evidence (Algorithm 1 lines 9-15).
         rewards = self._rewards
         nearby = self.cet.probe_nearby(ctr_block)
         if nearby is not None:
-            self.stats.cet_hits += 1
+            stats.cet_hits += 1
             correct = action == GOOD_LOCALITY
             reward = rewards.r_hg if correct else rewards.r_hb
         else:
-            self.stats.cet_misses += 1
+            stats.cet_misses += 1
             correct = action == BAD_LOCALITY
             reward = rewards.r_mb if correct else rewards.r_mg
         if correct:
-            self.stats.rewarded_correct += 1
+            stats.rewarded_correct += 1
         else:
-            self.stats.rewarded_incorrect += 1
+            stats.rewarded_incorrect += 1
 
         # Bootstrap from the most recent CET entry (lines 16-17).
-        bootstrap = self._head_bootstrap()
-        self.q_table.update(state, action, reward, self._alpha, self._gamma, bootstrap)
+        alpha = self._alpha
+        gamma = self._gamma
+        head = self.cet.head
+        bootstrap = max(table[head.state]) if head is not None else 0.0
+        row = table[state]
+        current = row[action]
+        updated = current + alpha * (reward + gamma * bootstrap - current)
+        if updated > Q_MAX:
+            updated = Q_MAX
+        elif updated < Q_MIN:
+            updated = Q_MIN
+        row[action] = updated
 
         # Record the observation; settle evicted entries (lines 18-23).
         evicted = self.cet.insert(ctr_block, state, action)
         if evicted is not None:
-            self.stats.cet_evictions += 1
+            stats.cet_evictions += 1
             if evicted.action == GOOD_LOCALITY:
                 evict_reward = rewards.r_eg
             else:
                 evict_reward = rewards.r_eb
-            self.q_table.update(
-                evicted.state,
-                evicted.action,
-                evict_reward,
-                self._alpha,
-                self._gamma,
-                self._head_bootstrap(),
-            )
-        score = self.q_table.quantized(state, action)
+            head = self.cet.head
+            bootstrap = max(table[head.state]) if head is not None else 0.0
+            evicted_row = table[evicted.state]
+            current = evicted_row[evicted.action]
+            updated = current + alpha * (evict_reward + gamma * bootstrap - current)
+            if updated > Q_MAX:
+                updated = Q_MAX
+            elif updated < Q_MIN:
+                updated = Q_MIN
+            evicted_row[evicted.action] = updated
+        score = int(round(table[state][action]))
         return action, score
 
     def _head_bootstrap(self) -> float:

@@ -15,14 +15,14 @@ from typing import Optional, Tuple
 
 from .config import CosmosConfig
 from .hashing import hash_block
-from .rl import EpsilonGreedy, QTable
+from .rl import Q_MAX, Q_MIN, EpsilonGreedy, QTable
 
 #: Action indices.
 ON_CHIP = 0
 OFF_CHIP = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class LocationPredictorStats:
     """Outcome accounting matching the paper's Figure 12 categories."""
 
@@ -97,11 +97,12 @@ class DataLocationPredictor:
         self._alpha = hyper.alpha_d
         self._gamma = hyper.gamma_d
         self._rewards = self.config.data_rewards
+        self._num_states = self.config.num_states
         self.stats = LocationPredictorStats()
 
     def state_of(self, block_address: int) -> int:
         """Hashed RL state for a data block address."""
-        return hash_block(block_address, self.config.num_states)
+        return hash_block(block_address, self._num_states)
 
     def predict(self, block_address: int) -> Tuple[int, int]:
         """Classify a block after an L1 miss.
@@ -110,9 +111,61 @@ class DataLocationPredictor:
             Tuple ``(action, state)``; the state is handed back to
             :meth:`train` once the actual location is known.
         """
-        state = self.state_of(block_address)
+        state = hash_block(block_address, self._num_states)
         action = self._selector.select(self.q_table, state)
         return action, state
+
+    def predict_and_train(self, block_address: int, actually_on_chip: bool) -> int:
+        """One fused decision+grading step (Algorithm 3, lines 5-20).
+
+        The trace-driven simulator learns the true location from the
+        concurrent cache walk before the predictor is consulted, so the
+        hot path fuses :meth:`predict` and :meth:`train` — selection,
+        grading and the Q-update are inlined here with the exact same
+        operations, RNG order and counters as the two-call form (which
+        remains the reference implementation).  This runs once per L1
+        miss and is the single hottest COSMOS frame.
+
+        Returns:
+            The selected action (:data:`ON_CHIP` or :data:`OFF_CHIP`).
+        """
+        state = hash_block(block_address, self._num_states)
+        row = self.q_table._table[state]
+        selector = self._selector
+        if selector._random() < selector.epsilon:
+            selector.explorations += 1
+            action = selector._randrange(2)
+        else:
+            selector.exploitations += 1
+            action = 1 if row[1] > row[0] else 0
+        stats = self.stats
+        rewards = self._rewards
+        if actually_on_chip:
+            actual_action = ON_CHIP
+            if action == ON_CHIP:
+                reward = rewards.r_hi
+                stats.correct_on_chip += 1
+            else:
+                reward = rewards.r_ho
+                stats.wrong_off_chip += 1
+        else:
+            actual_action = OFF_CHIP
+            if action == OFF_CHIP:
+                reward = rewards.r_mo
+                stats.correct_off_chip += 1
+            else:
+                reward = rewards.r_mi
+                stats.wrong_on_chip += 1
+        current = row[action]
+        updated = current + self._alpha * (
+            reward + self._gamma * row[actual_action] - current
+        )
+        if updated > Q_MAX:
+            updated = Q_MAX
+        elif updated < Q_MIN:
+            updated = Q_MIN
+        row[action] = updated
+        return action
 
     def train(self, state: int, action: int, actually_on_chip: bool) -> float:
         """Grade a prediction against the observed location (lines 8-20).

@@ -43,6 +43,8 @@ class QTable:
     def best_action(self, state: int) -> int:
         """Greedy action for ``state`` (lowest index wins ties)."""
         row = self._table[state]
+        if len(row) == 2:  # both COSMOS predictors: binary action space
+            return 1 if row[1] > row[0] else 0
         best = 0
         best_q = row[0]
         for action in range(1, self.num_actions):
@@ -72,7 +74,10 @@ class QTable:
         row = self._table[state]
         current = row[action]
         updated = current + alpha * (reward + gamma * bootstrap - current)
-        updated = min(Q_MAX, max(Q_MIN, updated))
+        if updated > Q_MAX:
+            updated = Q_MAX
+        elif updated < Q_MIN:
+            updated = Q_MIN
         row[action] = updated
         return updated
 
@@ -94,14 +99,17 @@ class EpsilonGreedy:
         self.epsilon = epsilon
         self.num_actions = num_actions
         self._rng = random.Random(seed)
+        # Bound methods hoisted once: select() runs on every L1 miss.
+        self._random = self._rng.random
+        self._randrange = self._rng.randrange
         self.explorations = 0
         self.exploitations = 0
 
     def select(self, table: QTable, state: int) -> int:
         """Pick an action for ``state`` from ``table``."""
-        if self._rng.random() < self.epsilon:
+        if self._random() < self.epsilon:
             self.explorations += 1
-            return self._rng.randrange(self.num_actions)
+            return self._randrange(self.num_actions)
         self.exploitations += 1
         return table.best_action(state)
 

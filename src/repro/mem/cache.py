@@ -8,15 +8,25 @@ The model is functional + statistical: it tracks residency, dirtiness and
 policy metadata per line and reports hits/misses/evictions, but does not
 model ports or MSHRs — consistent with the trace-driven methodology in
 DESIGN.md.
+
+:meth:`Cache.access` and :meth:`Cache.fill` are the innermost frames of the
+whole simulator (every trace access walks one to four caches), so both are
+written allocation-free: the set mask is precomputed, victim selection runs
+over the live dict view instead of a copied list, and policy callbacks are
+invoked positionally.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from operator import attrgetter
+
 from .access import BLOCK_SHIFT, BLOCK_SIZE
 from .replacement import CacheLine, LRUPolicy, ReplacementPolicy
 from .stats import CacheStats
+
+_BY_LRU_TICK = attrgetter("lru_tick")
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -63,13 +73,30 @@ class Cache:
         self.stats = CacheStats()
         self.writeback_sink = writeback_sink
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._set_mask = self.num_sets - 1
+
+    # ------------------------------------------------------------------
+    # Replacement policy
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """The replacement policy; assignable (experiments swap it)."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: ReplacementPolicy) -> None:
+        self._policy = policy
+        # LRU fast path: the default policy's callbacks reduce to a tick
+        # store, so access()/fill() inline them instead of dispatching.
+        # Exact-type check — subclasses may override any hook.
+        self._lru = policy if type(policy) is LRUPolicy else None
 
     # ------------------------------------------------------------------
     # Address helpers
     # ------------------------------------------------------------------
     def set_index(self, block_address: int) -> int:
         """Set index for ``block_address`` (a block, not byte, address)."""
-        return block_address & (self.num_sets - 1)
+        return block_address & self._set_mask
 
     def tag(self, block_address: int) -> int:
         """Tag bits for ``block_address``."""
@@ -80,8 +107,7 @@ class Cache:
     # ------------------------------------------------------------------
     def lookup(self, block_address: int) -> bool:
         """Return True if the block is resident, without touching state."""
-        index = self.set_index(block_address)
-        return block_address in self._sets[index]
+        return block_address in self._sets[block_address & self._set_mask]
 
     def access(self, block_address: int, is_write: bool = False) -> bool:
         """Perform a demand access; returns True on hit.
@@ -90,16 +116,22 @@ class Cache:
         whether/when to fill (e.g. after modelling the fill latency) via
         :meth:`fill`.
         """
-        index = self.set_index(block_address)
+        index = block_address & self._set_mask
         line = self._sets[index].get(block_address)
         if line is not None:
-            self.stats.hits += 1
+            stats = self.stats
+            stats.hits += 1
             if line.prefetched and not line.referenced:
-                self.stats.prefetch_useful += 1
+                stats.prefetch_useful += 1
             line.referenced = True
             if is_write:
                 line.dirty = True
-            self.policy.on_hit(index, line, context=block_address << BLOCK_SHIFT)
+            lru = self._lru
+            if lru is not None:
+                lru._tick = tick = lru._tick + 1
+                line.lru_tick = tick
+            else:
+                self._policy.on_hit(index, line, block_address << BLOCK_SHIFT)
             return True
         self.stats.misses += 1
         return False
@@ -117,26 +149,49 @@ class Cache:
         Returns:
             The evicted block address, or None when no eviction occurred.
         """
-        index = self.set_index(block_address)
+        index = block_address & self._set_mask
         target_set = self._sets[index]
-        if block_address in target_set:
-            line = target_set[block_address]
+        line = target_set.get(block_address)
+        if line is not None:
             if dirty:
                 line.dirty = True
             return None
+        lru = self._lru
         evicted_address: Optional[int] = None
         if len(target_set) >= self.assoc:
-            victim = self.policy.victim(index, list(target_set.values()))
+            # The live dict view is handed to the policy directly; policies
+            # may iterate it repeatedly but must not mutate residency.
+            # The eviction is inlined (see _evict_line) — this is the
+            # second-hottest frame in the simulator.
+            if lru is not None:
+                victim = min(target_set.values(), key=_BY_LRU_TICK)
+            else:
+                victim = self._policy.victim(index, target_set.values())
             evicted_address = victim.tag
-            self._evict_line(index, victim)
+            del target_set[evicted_address]
+            stats = self.stats
+            stats.evictions += 1
+            if victim.prefetched and not victim.referenced:
+                stats.prefetch_evicted_unused += 1
+            if victim.dirty:
+                stats.writebacks += 1
+                if self.writeback_sink is not None:
+                    self.writeback_sink(evicted_address)
+            if lru is None:
+                self._policy.on_evict(index, victim)
         line = CacheLine(block_address)
         line.dirty = dirty
         line.prefetched = prefetched
         target_set[block_address] = line
-        self.policy.on_insert(index, line, context=block_address << BLOCK_SHIFT)
+        if lru is not None:
+            lru._tick = tick = lru._tick + 1
+            line.lru_tick = tick
+        else:
+            self._policy.on_insert(index, line, block_address << BLOCK_SHIFT)
         return evicted_address
 
     def _evict_line(self, index: int, line: CacheLine) -> None:
+        # Kept for flush(); fill() inlines this sequence on its hot path.
         del self._sets[index][line.tag]
         self.stats.evictions += 1
         if line.prefetched and not line.referenced:
@@ -145,18 +200,25 @@ class Cache:
             self.stats.writebacks += 1
             if self.writeback_sink is not None:
                 self.writeback_sink(line.tag)
-        self.policy.on_evict(index, line)
+        self._policy.on_evict(index, line)
 
     def invalidate(self, block_address: int) -> bool:
-        """Drop a block if resident (no writeback); returns True if dropped."""
-        index = self.set_index(block_address)
+        """Drop a block if resident (no writeback); returns True if dropped.
+
+        The replacement policy observes the drop through ``on_evict`` so
+        per-line learning state (SHiP outcomes, LRU bookkeeping, LCR tags)
+        does not leak for invalidated lines.
+        """
+        index = block_address & self._set_mask
         line = self._sets[index].pop(block_address, None)
-        return line is not None
+        if line is None:
+            return False
+        self._policy.on_evict(index, line)
+        return True
 
     def get_line(self, block_address: int) -> Optional[CacheLine]:
         """Return the resident line's metadata, or None."""
-        index = self.set_index(block_address)
-        return self._sets[index].get(block_address)
+        return self._sets[block_address & self._set_mask].get(block_address)
 
     def flush(self) -> int:
         """Evict every resident line (issuing writebacks); returns count."""

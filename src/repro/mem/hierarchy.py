@@ -60,9 +60,13 @@ class HierarchyConfig:
         )
 
 
-@dataclass
+@dataclass(frozen=True)
 class HierarchyResult:
     """Outcome of walking the hierarchy for one access.
+
+    For a fixed configuration only four outcomes exist, so the hierarchy
+    hands back one of four pre-built frozen instances — the per-access
+    walk allocates nothing.
 
     Attributes:
         hit_level: ``"L1"``, ``"L2"``, ``"LLC"`` or ``"MEM"``.
@@ -131,6 +135,14 @@ class MemoryHierarchy:
             )
             self.l1.append(l1)
             self.l2.append(l2)
+        l1_latency = self.config.l1.latency
+        l2_latency = l1_latency + self.config.l2.latency
+        llc_latency = l2_latency + self.config.llc.latency
+        self._result_l1 = HierarchyResult("L1", l1_latency, False, False)
+        self._result_l2 = HierarchyResult("L2", l2_latency, True, False)
+        self._result_llc = HierarchyResult("LLC", llc_latency, True, False)
+        self._result_mem = HierarchyResult("MEM", llc_latency, True, True)
+        self._num_cores = cores
 
     def _llc_writeback(self, block_address: int) -> None:
         if self.memory_write_sink is not None:
@@ -140,53 +152,55 @@ class MemoryHierarchy:
     # Lookup / fill
     # ------------------------------------------------------------------
     def access(self, access: MemoryAccess) -> HierarchyResult:
+        """Walk the hierarchy for one access record (object-API adapter)."""
+        return self.access_block(access.block_address, access.is_write, access.core)
+
+    def access_block(self, block: int, is_write: bool, core: int) -> HierarchyResult:
         """Walk the hierarchy for one access, filling caches on the way back.
+
+        This is the scalar fast path: block address, write flag and core
+        arrive as plain scalars and the returned :class:`HierarchyResult`
+        is one of four shared frozen instances, so the common L1-hit case
+        touches no heap allocation.
 
         The walk is sequential (L1 -> L2 -> LLC) as in the baseline secure
         memory design; early/parallel CTR access is modelled by the secure
         designs on top of the returned :class:`HierarchyResult`.
         """
-        core = access.core
-        if core >= self.config.num_cores:
+        if core >= self._num_cores:
             raise ValueError(
-                f"access from core {core} but hierarchy has {self.config.num_cores} cores"
+                f"access from core {core} but hierarchy has {self._num_cores} cores"
             )
-        block = access.block_address
-        is_write = access.is_write
-        latency = self.config.l1.latency
-        if self.l1[core].access(block, is_write):
-            return HierarchyResult("L1", latency, l1_miss=False, needs_memory=False)
-        self._run_prefetcher(block, core)
-        latency += self.config.l2.latency
-        if self.l2[core].access(block, is_write):
-            self.l1[core].fill(block, dirty=is_write)
-            return HierarchyResult("L2", latency, l1_miss=True, needs_memory=False)
-        latency += self.config.llc.latency
-        if self.llc.access(block, is_write):
-            self.l2[core].fill(block)
-            self.l1[core].fill(block, dirty=is_write)
-            return HierarchyResult("LLC", latency, l1_miss=True, needs_memory=False)
+        l1 = self.l1[core]
+        if l1.access(block, is_write):
+            return self._result_l1
+        l2 = self.l2[core]
+        llc = self.llc
+        # Feed the per-core L2 prefetcher with the L1-miss stream (inlined:
+        # this runs on every L1 miss).  Prefetched blocks fill L2 (and LLC
+        # when they come from memory); fills from memory are reported
+        # through ``prefetch_fill_sink`` so the owning design can charge
+        # DRAM traffic — and, for protected designs, the counter fetch the
+        # decryption needs.
+        prefetchers = self._prefetchers
+        if prefetchers is not None:
+            for candidate in prefetchers[core].observe(block):
+                if candidate < 0 or l2.lookup(candidate):
+                    continue
+                if not llc.lookup(candidate):
+                    if self.prefetch_fill_sink is not None:
+                        self.prefetch_fill_sink(candidate)
+                    llc.fill(candidate, prefetched=True)
+                l2.fill(candidate, prefetched=True)
+        if l2.access(block, is_write):
+            l1.fill(block, dirty=is_write)
+            return self._result_l2
+        if llc.access(block, is_write):
+            l2.fill(block)
+            l1.fill(block, dirty=is_write)
+            return self._result_llc
         self.fill_from_memory(block, core, dirty=is_write)
-        return HierarchyResult("MEM", latency, l1_miss=True, needs_memory=True)
-
-    def _run_prefetcher(self, block: int, core: int) -> None:
-        """Feed the per-core L2 prefetcher with the L1-miss stream.
-
-        Prefetched blocks fill L2 (and LLC when they come from memory).
-        Fills from memory are reported through ``prefetch_fill_sink`` so
-        the owning design can charge DRAM traffic — and, for protected
-        designs, the counter fetch the decryption needs.
-        """
-        if self._prefetchers is None:
-            return
-        for candidate in self._prefetchers[core].observe(block):
-            if candidate < 0 or self.l2[core].lookup(candidate):
-                continue
-            if not self.llc.lookup(candidate):
-                if self.prefetch_fill_sink is not None:
-                    self.prefetch_fill_sink(candidate)
-                self.llc.fill(candidate, prefetched=True)
-            self.l2[core].fill(candidate, prefetched=True)
+        return self._result_mem
 
     def probe_on_chip(self, block_address: int, core: int) -> bool:
         """Non-destructive residency check across L1/L2/LLC for ``core``.

@@ -64,27 +64,33 @@ class StridePrefetcher(Prefetcher):
     def _region(self, block_address: int) -> int:
         return (block_address >> self.region_shift) % self.table_entries
 
+    _EMPTY: List[int] = []
+
     def observe(self, block_address: int) -> List[int]:
-        region = self._region(block_address)
+        # Runs on every L1 miss of every core: the region computation is
+        # inlined, the table entry is mutated in place, and the no-prefetch
+        # paths return a shared empty list (callers only iterate it).
+        region = (block_address >> self.region_shift) % self.table_entries
         entry = self._table.get(region)
         if entry is None:
             self._table[region] = [block_address, 0, self._INIT]
-            return []
+            return self._EMPTY
         last_address, last_stride, state = entry
         stride = block_address - last_address
-        prefetches: List[int] = []
         if stride == 0:
-            return []
-        if state == self._STEADY and stride == last_stride:
-            prefetches = [
-                block_address + stride * step for step in range(1, self.degree + 1)
-            ]
-            new_state = self._STEADY
-        elif stride == last_stride:
+            return self._EMPTY
+        prefetches = self._EMPTY
+        if stride == last_stride:
+            if state == self._STEADY:
+                prefetches = [
+                    block_address + stride * step for step in range(1, self.degree + 1)
+                ]
             new_state = self._STEADY
         else:
             new_state = self._TRANSIENT
-        self._table[region] = [block_address, stride, new_state]
+        entry[0] = block_address
+        entry[1] = stride
+        entry[2] = new_state
         return prefetches
 
 

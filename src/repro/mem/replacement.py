@@ -10,7 +10,8 @@ policy-agnostic; COSMOS's LCR policy (Algorithm 2) lives in
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from operator import attrgetter
+from typing import Dict, Iterable, Optional
 
 
 class CacheLine:
@@ -65,12 +66,21 @@ class ReplacementPolicy:
     def on_hit(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
         """Update policy state after a demand hit on ``line``."""
 
-    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
-        """Choose which of ``lines`` (a full set) to evict."""
+    def victim(self, set_index: int, lines: Iterable[CacheLine]) -> CacheLine:
+        """Choose which of ``lines`` (a full set) to evict.
+
+        ``lines`` is the cache's *live* set view (re-iterable, in insertion
+        order) — policies may scan it as often as needed but must not
+        add or remove residency; the eviction itself is the cache's job.
+        """
         raise NotImplementedError
 
     def on_evict(self, set_index: int, line: CacheLine) -> None:
         """Observe the eviction of ``line`` (used for learning policies)."""
+
+
+_BY_LRU_TICK = attrgetter("lru_tick")
+_BY_ETA = attrgetter("eta")
 
 
 class LRUPolicy(ReplacementPolicy):
@@ -86,13 +96,15 @@ class LRUPolicy(ReplacementPolicy):
         line.lru_tick = self._tick
 
     def on_insert(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
-        self._touch(line)
+        self._tick += 1
+        line.lru_tick = self._tick
 
     def on_hit(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
-        self._touch(line)
+        self._tick += 1
+        line.lru_tick = self._tick
 
-    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
-        return min(lines, key=lambda entry: entry.lru_tick)
+    def victim(self, set_index: int, lines: Iterable[CacheLine]) -> CacheLine:
+        return min(lines, key=_BY_LRU_TICK)
 
 
 class RandomPolicy(ReplacementPolicy):
@@ -103,8 +115,8 @@ class RandomPolicy(ReplacementPolicy):
     def __init__(self, seed: int = 0) -> None:
         self._rng = random.Random(seed)
 
-    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
-        return self._rng.choice(lines)
+    def victim(self, set_index: int, lines: Iterable[CacheLine]) -> CacheLine:
+        return self._rng.choice(list(lines))
 
 
 class RRIPPolicy(ReplacementPolicy):
@@ -129,7 +141,7 @@ class RRIPPolicy(ReplacementPolicy):
     def on_hit(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
         line.rrpv = 0
 
-    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
+    def victim(self, set_index: int, lines: Iterable[CacheLine]) -> CacheLine:
         while True:
             for line in lines:
                 if line.rrpv >= self.max_rrpv:
@@ -181,7 +193,7 @@ class SHiPPolicy(ReplacementPolicy):
             value = self.shct_value(line.signature)
             self._shct[line.signature] = min(self.counter_max, value + 1)
 
-    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
+    def victim(self, set_index: int, lines: Iterable[CacheLine]) -> CacheLine:
         while True:
             for line in lines:
                 if line.rrpv >= self.max_rrpv:
@@ -241,8 +253,8 @@ class MockingjayPolicy(ReplacementPolicy):
     def on_hit(self, set_index: int, line: CacheLine, context: Optional[int] = None) -> None:
         line.eta = self._clock + self._observe(context)
 
-    def victim(self, set_index: int, lines: List[CacheLine]) -> CacheLine:
-        return max(lines, key=lambda entry: entry.eta)
+    def victim(self, set_index: int, lines: Iterable[CacheLine]) -> CacheLine:
+        return max(lines, key=_BY_ETA)
 
 
 _POLICY_FACTORIES = {

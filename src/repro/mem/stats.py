@@ -6,13 +6,14 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss accounting for one cache.
 
     The ``prefetch_*`` counters track prefetcher effectiveness: a prefetched
     line counts as *useful* the first time a demand access hits it before it
-    is evicted.
+    is evicted.  Slotted: the counters are incremented on every cache
+    operation in the simulator's innermost loop.
     """
 
     hits: int = 0
@@ -60,7 +61,7 @@ class CacheStats:
         self.prefetch_evicted_unused = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficStats:
     """DRAM traffic broken down by cause, in 64B-request units.
 

@@ -17,7 +17,7 @@ from .counters import CounterScheme
 from .layout import SecureLayout
 
 
-@dataclass
+@dataclass(slots=True)
 class CtrCacheStats:
     """CTR-cache accounting, including locality tagging for COSMOS."""
 
@@ -90,23 +90,39 @@ class CtrCache:
         resident line is tagged with the 1-bit flag and 8-bit score that the
         LCR replacement policy consumes (paper Sec. 4.3).
         """
-        ctr_address = self.ctr_block_address(data_block)
-        hit = self.cache.access(ctr_address, is_write)
+        return self.access_index(
+            self.scheme.ctr_index(data_block), is_write, locality_flag, locality_score
+        )
+
+    def access_index(
+        self,
+        ctr_index: int,
+        is_write: bool = False,
+        locality_flag: Optional[int] = None,
+        locality_score: Optional[int] = None,
+    ) -> bool:
+        """Like :meth:`access` but keyed by an already-computed counter-line
+        index — the engine's hot path resolves the index once and shares it
+        between the cache lookup and the integrity walk."""
+        ctr_address = self.layout.ctr_block_address(ctr_index)
+        cache = self.cache
+        stats = self.stats
+        hit = cache.access(ctr_address, is_write)
         if hit:
-            self.stats.hits += 1
+            stats.hits += 1
         else:
-            self.stats.misses += 1
-            self.cache.fill(ctr_address, dirty=is_write)
+            stats.misses += 1
+            cache.fill(ctr_address, dirty=is_write)
         if locality_flag is not None:
-            line = self.cache.get_line(ctr_address)
+            line = cache.get_line(ctr_address)
             if line is not None:
                 line.locality_flag = locality_flag
                 if locality_score is not None:
                     line.locality_score = locality_score
             if locality_flag:
-                self.stats.good_locality_tags += 1
+                stats.good_locality_tags += 1
             else:
-                self.stats.bad_locality_tags += 1
+                stats.bad_locality_tags += 1
         return hit
 
     def contains(self, data_block: int) -> bool:

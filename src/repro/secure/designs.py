@@ -32,7 +32,9 @@ from typing import Dict, Optional
 
 from ..core.config import CosmosConfig
 from ..core.cosmos import CosmosController, CosmosVariant
-from ..core.lcr_cache import LcrReplacementPolicy
+from ..core.lcr_cache import FLAG_GOOD, LcrReplacementPolicy
+from ..core.locality_predictor import GOOD_LOCALITY
+from ..core.location_predictor import OFF_CHIP
 from ..mem.access import MemoryAccess
 from ..mem.dram import DramModel
 from ..mem.hierarchy import HierarchyConfig, MemoryHierarchy
@@ -42,7 +44,7 @@ from .engine import EngineConfig, SecureMemoryEngine
 from .layout import SecureLayout
 
 
-@dataclass
+@dataclass(slots=True)
 class DesignStats:
     """Per-design event counters beyond what substrates already track."""
 
@@ -62,7 +64,15 @@ class DesignStats:
 
 
 class SecureDesign:
-    """Common scaffolding: hierarchy ownership and the access loop hook."""
+    """Common scaffolding: hierarchy ownership and the access loop hook.
+
+    Subclasses implement :meth:`process_fast`, the scalar hot path taking
+    ``(block_address, is_write, core)`` directly; the object-based
+    :meth:`process` API is a thin adapter kept for external callers and
+    tests.  The simulator's array fast path calls ``process_fast`` with
+    pre-shifted block addresses, so the dominant L1-hit case runs without
+    any per-access heap allocation.
+    """
 
     name = "base"
     is_protected = True
@@ -84,6 +94,7 @@ class SecureDesign:
             prefetch_fill_sink=self._on_prefetch_fill,
         )
         self.stats = DesignStats()
+        self._l1_latency = self.hierarchy_config.l1.latency
 
     def _on_writeback(self, block_address: int) -> None:
         raise NotImplementedError
@@ -94,6 +105,10 @@ class SecureDesign:
 
     def process(self, access: MemoryAccess) -> int:
         """Run one access through the design; returns latency in cycles."""
+        return self.process_fast(access.block_address, access.is_write, access.core)
+
+    def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
+        """Scalar hot path: one access as plain scalars; returns cycles."""
         raise NotImplementedError
 
     def traffic(self) -> TrafficStats:
@@ -146,16 +161,17 @@ class NonProtectedDesign(SecureDesign):
         self._traffic.reset()
         self.dram.reset_stats()
 
-    def process(self, access: MemoryAccess) -> int:
-        self.stats.accesses += 1
-        result = self.hierarchy.access(access)
+    def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        result = self.hierarchy.access_block(block_address, is_write, core)
         if result.l1_miss:
-            self.stats.l1_misses += 1
+            stats.l1_misses += 1
         if not result.needs_memory:
             return result.lookup_latency
-        self.stats.llc_misses += 1
+        stats.llc_misses += 1
         self._traffic.data_reads += 1
-        return result.lookup_latency + self.dram.request(access.block_address)
+        return result.lookup_latency + self.dram.request(block_address)
 
     def traffic(self) -> TrafficStats:
         return self._traffic
@@ -232,15 +248,16 @@ class MorphCtrDesign(ProtectedDesign):
 
     name = "morphctr"
 
-    def process(self, access: MemoryAccess) -> int:
-        self.stats.accesses += 1
-        result = self.hierarchy.access(access)
+    def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        result = self.hierarchy.access_block(block_address, is_write, core)
         if result.l1_miss:
-            self.stats.l1_misses += 1
+            stats.l1_misses += 1
         if not result.needs_memory:
             return result.lookup_latency
-        self.stats.llc_misses += 1
-        return self._memory_latency_sequential(access.block_address, result.lookup_latency)
+        stats.llc_misses += 1
+        return self._memory_latency_sequential(block_address, result.lookup_latency)
 
 
 class EarlyCtrDesign(ProtectedDesign):
@@ -253,21 +270,22 @@ class EarlyCtrDesign(ProtectedDesign):
 
     name = "early"
 
-    def process(self, access: MemoryAccess) -> int:
-        self.stats.accesses += 1
-        result = self.hierarchy.access(access)
+    def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        result = self.hierarchy.access_block(block_address, is_write, core)
         if not result.l1_miss:
             return result.lookup_latency
-        self.stats.l1_misses += 1
-        l1_latency = self.hierarchy_config.l1.latency
-        _, ctr_latency = self._ctr_access(access.block_address)
+        stats.l1_misses += 1
+        _, ctr_latency = self._ctr_access(block_address)
         if not result.needs_memory:
             return result.lookup_latency
-        self.stats.llc_misses += 1
-        data_latency = self.engine.read_data(access.block_address)
+        stats.llc_misses += 1
+        engine = self.engine
+        data_latency = engine.read_data(block_address)
         data_ready = result.lookup_latency + data_latency
-        otp_ready = l1_latency + self.engine.decrypt_ready_latency(ctr_latency)
-        return max(data_ready, otp_ready) + self.engine.config.auth_latency
+        otp_ready = self._l1_latency + engine.decrypt_ready_latency(ctr_latency)
+        return max(data_ready, otp_ready) + engine.config.auth_latency
 
 
 class EmccDesign(EarlyCtrDesign):
@@ -322,15 +340,16 @@ class RmccDesign(ProtectedDesign):
                 self._memo[ctr_index] = count
         return False
 
-    def process(self, access: MemoryAccess) -> int:
-        self.stats.accesses += 1
-        result = self.hierarchy.access(access)
+    def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        result = self.hierarchy.access_block(block_address, is_write, core)
         if result.l1_miss:
-            self.stats.l1_misses += 1
+            stats.l1_misses += 1
         if not result.needs_memory:
             return result.lookup_latency
-        self.stats.llc_misses += 1
-        block = access.block_address
+        stats.llc_misses += 1
+        block = block_address
         if self._memo_probe(block):
             # Memoised counter: the OTP can be produced immediately.
             data_latency = self.engine.read_data(block)
@@ -376,6 +395,11 @@ class CosmosDesign(ProtectedDesign):
             )
         super().__init__(hierarchy_config, layout, engine_config, counter_scheme)
         self.controller = CosmosController(self.cosmos_config, self.variant)
+        # Predictor references hoisted for the hot path (None when the
+        # variant disables them); reset_stats() swaps their stats objects,
+        # never the predictors themselves, so these stay valid.
+        self._location = self.controller.location
+        self._locality = self.controller.locality
         if self.variant.ctr_predictor:
             self.engine.ctr_classifier = self._classify_ctr_index
 
@@ -397,46 +421,56 @@ class CosmosDesign(ProtectedDesign):
 
     def _ctr_access(self, block: int):
         flag = score = None
-        if self.variant.ctr_predictor:
-            flag, score = self.controller.classify_ctr(self.engine.scheme.ctr_index(block))
+        locality = self._locality
+        if locality is not None:
+            action, score = locality.predict(self.engine.scheme.ctr_index(block))
+            flag = FLAG_GOOD if action == GOOD_LOCALITY else 0
         return self.engine.ctr_access(block, locality_flag=flag, locality_score=score)
 
-    def process(self, access: MemoryAccess) -> int:
-        self.stats.accesses += 1
-        result = self.hierarchy.access(access)
+    def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        result = self.hierarchy.access_block(block_address, is_write, core)
         if not result.l1_miss:
             return result.lookup_latency
-        self.stats.l1_misses += 1
-        block = access.block_address
-        predicted_off, action, state = self.controller.on_l1_miss(block)
-        self.controller.train_location(state, action, on_chip=not result.needs_memory)
-        l1_latency = self.hierarchy_config.l1.latency
+        stats.l1_misses += 1
+        block = block_address
+        location = self._location
+        if location is not None:
+            # Fused predict+train: the concurrent walk already revealed
+            # the truth, so the prediction is graded in the same call.
+            action = location.predict_and_train(block, not result.needs_memory)
+            predicted_off = action == OFF_CHIP
+        else:
+            predicted_off = False
+        engine = self.engine
         if predicted_off:
             _, ctr_latency = self._ctr_access(block)
             if result.needs_memory:
                 # Correct off-chip prediction: bypass L2/LLC on the data path.
-                self.stats.llc_misses += 1
-                self.stats.bypasses += 1
-                data_latency = self.engine.read_data(block)
+                stats.llc_misses += 1
+                stats.bypasses += 1
+                l1_latency = self._l1_latency
+                data_latency = engine.read_data(block)
                 data_ready = l1_latency + data_latency
-                otp_ready = l1_latency + self.engine.decrypt_ready_latency(ctr_latency)
-                return max(data_ready, otp_ready) + self.engine.config.auth_latency
+                otp_ready = l1_latency + engine.decrypt_ready_latency(ctr_latency)
+                return max(data_ready, otp_ready) + engine.config.auth_latency
             # Wrong off-chip prediction: kill the speculative DRAM fetch;
             # the CTR access already happened (and usefully warms the
             # cache, Sec. 6.1.2).
-            self.stats.killed_fetches += 1
+            stats.killed_fetches += 1
             return result.lookup_latency
         if result.needs_memory:
             # Wrong (or absent) on-chip prediction: sequential fallback.
-            self.stats.llc_misses += 1
-            self.stats.fallback_fetches += 1
+            stats.llc_misses += 1
+            stats.fallback_fetches += 1
             _, ctr_latency = self._ctr_access(block)
-            data_latency = self.engine.read_data(block)
-            otp_ready = self.engine.decrypt_ready_latency(ctr_latency)
+            data_latency = engine.read_data(block)
+            otp_ready = engine.decrypt_ready_latency(ctr_latency)
             return (
                 result.lookup_latency
                 + max(data_latency, otp_ready)
-                + self.engine.config.auth_latency
+                + engine.config.auth_latency
             )
         return result.lookup_latency
 
@@ -460,32 +494,38 @@ class CosmosEarlyDesign(CosmosDesign):
         super().__init__(**kwargs)
         self.name = "cosmos-early"
 
-    def process(self, access: MemoryAccess) -> int:
-        self.stats.accesses += 1
-        result = self.hierarchy.access(access)
+    def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
+        stats = self.stats
+        stats.accesses += 1
+        result = self.hierarchy.access_block(block_address, is_write, core)
         if not result.l1_miss:
             return result.lookup_latency
-        self.stats.l1_misses += 1
-        block = access.block_address
-        predicted_off, action, state = self.controller.on_l1_miss(block)
-        self.controller.train_location(state, action, on_chip=not result.needs_memory)
-        l1_latency = self.hierarchy_config.l1.latency
+        stats.l1_misses += 1
+        block = block_address
+        location = self._location
+        if location is not None:
+            action = location.predict_and_train(block, not result.needs_memory)
+            predicted_off = action == OFF_CHIP
+        else:
+            predicted_off = False
+        l1_latency = self._l1_latency
         # Universal early probe: every L1 miss touches the CTR cache.
         _, ctr_latency = self._ctr_access(block)
         if not result.needs_memory:
             if predicted_off:
-                self.stats.killed_fetches += 1
+                stats.killed_fetches += 1
             return result.lookup_latency
-        self.stats.llc_misses += 1
-        data_latency = self.engine.read_data(block)
-        otp_ready = l1_latency + self.engine.decrypt_ready_latency(ctr_latency)
+        stats.llc_misses += 1
+        engine = self.engine
+        data_latency = engine.read_data(block)
+        otp_ready = l1_latency + engine.decrypt_ready_latency(ctr_latency)
         if predicted_off:
-            self.stats.bypasses += 1
+            stats.bypasses += 1
             data_ready = l1_latency + data_latency
         else:
-            self.stats.fallback_fetches += 1
+            stats.fallback_fetches += 1
             data_ready = result.lookup_latency + data_latency
-        return max(data_ready, otp_ready) + self.engine.config.auth_latency
+        return max(data_ready, otp_ready) + engine.config.auth_latency
 
 
 _DESIGN_FACTORIES = {

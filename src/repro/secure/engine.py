@@ -148,14 +148,12 @@ class SecureMemoryEngine:
             walk's DRAM reads are charged as traffic only — its latency
             overlaps OTP generation (paper Sec. 5).
         """
-        latency = self.config.ctr_lookup_latency + self.config.ctr_combine_latency
-        hit = self.ctr_cache.access(
-            data_block,
-            is_write=is_write,
-            locality_flag=locality_flag,
-            locality_score=locality_score,
-        )
+        config = self.config
+        latency = config.ctr_lookup_latency + config.ctr_combine_latency
         ctr_index = self.scheme.ctr_index(data_block)
+        hit = self.ctr_cache.access_index(
+            ctr_index, is_write, locality_flag, locality_score
+        )
         if not hit:
             ctr_address = self.layout.ctr_block_address(ctr_index)
             latency += self.dram.request(ctr_address)

@@ -4,18 +4,35 @@ This is the reproduction's stand-in for Gem5 SE mode (DESIGN.md,
 substitution 1): accesses flow through the design's cache hierarchy and
 secure-memory engine, per-access latencies are accumulated, and an IPC
 proxy is derived with a fixed memory-level-parallelism overlap factor.
+
+Two trace representations are accepted by :meth:`Simulator.run`:
+
+* **array traces** (:class:`~repro.workloads.trace.Trace` /
+  :class:`~repro.workloads.trace.TraceArrays`) take the fast path — the
+  packed address/type/core arrays are unpacked once into scalar lists and
+  fed to ``design.process_fast`` with pre-shifted block addresses, so no
+  per-access object is ever constructed;
+* any other ``Iterable[MemoryAccess]`` (lists, generators) takes the
+  legacy object path through ``design.process``.
+
+Both paths execute the identical sequence of cache/engine operations and
+therefore produce byte-identical metrics — a contract locked down by the
+golden-metrics determinism test.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
-from ..mem.access import MemoryAccess
+from ..mem.access import AccessType, MemoryAccess
 from ..secure.counters import make_counter_scheme
 from ..secure.designs import CosmosDesign, SecureDesign, make_design
 from ..secure.layout import SecureLayout
+from ..workloads.trace import TraceArrays
 from .config import SimulationConfig
 from .results import SimulationResult
+
+_WRITE = int(AccessType.WRITE)
 
 
 def build_layout(config: SimulationConfig) -> SecureLayout:
@@ -56,7 +73,7 @@ class Simulator:
 
     def run(
         self,
-        trace: Iterable[MemoryAccess],
+        trace: Union[Iterable[MemoryAccess], TraceArrays],
         progress_hook: Optional[Callable[[int, "Simulator"], None]] = None,
         progress_interval: int = 100_000,
         warmup_accesses: int = 0,
@@ -64,7 +81,11 @@ class Simulator:
         """Simulate every access in ``trace`` and return the result.
 
         Args:
-            trace: Iterable of accesses (a list or a generator).
+            trace: Either an iterable of accesses (a list or a generator)
+                or an array-native trace — a :class:`TraceArrays` or any
+                object exposing a zero-argument ``arrays()`` method (e.g.
+                :class:`~repro.workloads.trace.Trace`).  Array traces take
+                the allocation-free fast path.
             progress_hook: Optional callback ``(accesses_done, simulator)``
                 invoked every ``progress_interval`` accesses — used by the
                 convergence experiments (paper Fig. 8) to snapshot metrics
@@ -74,20 +95,93 @@ class Simulator:
                 window: caches fill and predictors train during warmup,
                 but every statistic is reset afterwards.
         """
+        arrays: Optional[TraceArrays] = None
+        if isinstance(trace, TraceArrays):
+            arrays = trace
+        else:
+            to_arrays = getattr(trace, "arrays", None)
+            if callable(to_arrays):
+                arrays = to_arrays()
+        if arrays is not None:
+            self._run_arrays(arrays, progress_hook, progress_interval, warmup_accesses)
+        else:
+            self._run_objects(trace, progress_hook, progress_interval, warmup_accesses)
+        return self.result()
+
+    def _run_arrays(
+        self,
+        arrays: TraceArrays,
+        progress_hook: Optional[Callable[[int, "Simulator"], None]],
+        progress_interval: int,
+        warmup_accesses: int,
+    ) -> None:
+        """Array fast path: scalars straight into ``design.process_fast``.
+
+        The packed arrays are unpacked once (``tolist`` yields plain
+        Python ints/bools, the exact values ``MemoryAccess`` would carry),
+        block addresses arrive pre-shifted, and the hot loop is free of
+        per-access allocation and hook bookkeeping.
+        """
         design = self.design
-        iterator = iter(trace)
+        process = design.process_fast
+        blocks = arrays.block_addresses.tolist()
+        writes = (arrays.types == _WRITE).tolist()
+        cores = arrays.cores.tolist()
+        start = 0
         if warmup_accesses > 0:
-            for _, access in zip(range(warmup_accesses), iterator):
-                design.process(access)
+            start = min(warmup_accesses, len(blocks))
+            for index in range(start):
+                process(blocks[index], writes[index], cores[index])
             design.reset_stats()
             self.total_latency = 0
             self.accesses = 0
-        for access in iterator:
-            self.total_latency += design.process(access)
+        if progress_hook is None:
+            total = 0
+            for block, is_write, core in zip(
+                blocks[start:], writes[start:], cores[start:]
+            ):
+                total += process(block, is_write, core)
+            self.total_latency += total
+            self.accesses += len(blocks) - start
+            return
+        for index in range(start, len(blocks)):
+            self.total_latency += process(blocks[index], writes[index], cores[index])
             self.accesses += 1
-            if progress_hook is not None and self.accesses % progress_interval == 0:
+            if self.accesses % progress_interval == 0:
                 progress_hook(self.accesses, self)
-        return self.result()
+
+    def _run_objects(
+        self,
+        trace: Iterable[MemoryAccess],
+        progress_hook: Optional[Callable[[int, "Simulator"], None]],
+        progress_interval: int,
+        warmup_accesses: int,
+    ) -> None:
+        """Legacy object path for plain iterables of ``MemoryAccess``."""
+        design = self.design
+        process = design.process
+        iterator = iter(trace)
+        if warmup_accesses > 0:
+            for _, access in zip(range(warmup_accesses), iterator):
+                process(access)
+            design.reset_stats()
+            self.total_latency = 0
+            self.accesses = 0
+        if progress_hook is None:
+            # Hookless loop: the common path pays no per-access hook test.
+            total = 0
+            count = 0
+            for access in iterator:
+                total += process(access)
+                count += 1
+            self.total_latency += total
+            self.accesses += count
+            return
+        for access in iterator:
+            self.total_latency += process(access)
+            self.accesses += 1
+            if self.accesses % progress_interval == 0:
+                progress_hook(self.accesses, self)
 
     # ------------------------------------------------------------------
     # Metrics

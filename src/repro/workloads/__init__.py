@@ -27,7 +27,7 @@ from .micro import (
 )
 from .serialization import load_trace, save_trace
 from .spec import SPEC_WORKLOADS, generate_spec_trace
-from .trace import Allocator, Trace, interleave, multiprogram
+from .trace import Allocator, Trace, TraceArrays, interleave, multiprogram
 
 __all__ = [
     "Allocator",
@@ -53,6 +53,7 @@ __all__ = [
     "ML_WORKLOADS",
     "SPEC_WORKLOADS",
     "Trace",
+    "TraceArrays",
     "available_kernels",
     "degree_skew",
     "generate_db_trace",

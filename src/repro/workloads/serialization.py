@@ -17,8 +17,7 @@ from typing import Union
 
 import numpy as np
 
-from ..mem.access import AccessType, MemoryAccess
-from .trace import Trace
+from .trace import Trace, TraceArrays
 
 PathLike = Union[str, Path]
 
@@ -40,15 +39,9 @@ def save_trace(trace: Trace, path: PathLike) -> Path:
     if path.suffix != ".npz":
         path = Path(str(path) + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    addresses = np.fromiter(
-        (access.address for access in trace.accesses), dtype=np.int64, count=len(trace)
-    )
-    types = np.fromiter(
-        (int(access.type) for access in trace.accesses), dtype=np.int8, count=len(trace)
-    )
-    cores = np.fromiter(
-        (access.core for access in trace.accesses), dtype=np.int16, count=len(trace)
-    )
+    # Object-backed traces are packed once here; array-backed traces are
+    # written as-is with no per-access object ever materialised.
+    arrays = trace.arrays()
     header = json.dumps(
         {"version": FORMAT_VERSION, "name": trace.name, "metadata": trace.metadata},
         default=str,
@@ -60,9 +53,9 @@ def save_trace(trace: Trace, path: PathLike) -> Path:
     try:
         np.savez_compressed(
             tmp_name,
-            addresses=addresses,
-            types=types,
-            cores=cores,
+            addresses=arrays.addresses,
+            types=arrays.types,
+            cores=arrays.cores,
             header=np.frombuffer(header.encode(), dtype=np.uint8),
         )
         os.replace(tmp_name, path)
@@ -77,6 +70,10 @@ def save_trace(trace: Trace, path: PathLike) -> Path:
 
 def load_trace(path: PathLike) -> Trace:
     """Load a trace written by :func:`save_trace`.
+
+    The returned trace is array-backed: the archive's parallel arrays
+    flow straight into the simulator's fast path, and per-access objects
+    are only materialised if a caller iterates ``trace.accesses``.
 
     Raises:
         ValueError: If the archive misses arrays or has a newer format.
@@ -96,8 +93,5 @@ def load_trace(path: PathLike) -> Trace:
             )
         name = header.get("name", name)
         metadata = header.get("metadata", {})
-    accesses = [
-        MemoryAccess(int(address), AccessType(int(kind)), int(core))
-        for address, kind, core in zip(data["addresses"], data["types"], data["cores"])
-    ]
-    return Trace(name=name, accesses=accesses, metadata=metadata)
+    arrays = TraceArrays(data["addresses"], data["types"], data["cores"])
+    return Trace.from_arrays(name, arrays, metadata=metadata)

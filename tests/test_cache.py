@@ -114,6 +114,27 @@ def test_invalidate():
     assert not cache.invalidate(3)
 
 
+def test_invalidate_notifies_policy():
+    """Regression: invalidation must reach ``policy.on_evict`` so learning
+    policies (SHiP outcomes, LCR tags) do not leak state for dropped lines."""
+
+    class RecordingPolicy(LRUPolicy):
+        def __init__(self):
+            super().__init__()
+            self.evicted = []
+
+        def on_evict(self, set_index, line):
+            self.evicted.append(line.tag)
+
+    policy = RecordingPolicy()
+    cache = Cache(2 * 64, 2, policy=policy)
+    cache.fill(5)
+    assert cache.invalidate(5)
+    assert policy.evicted == [5]
+    assert not cache.invalidate(5)
+    assert policy.evicted == [5]  # a miss must not notify
+
+
 def test_flush_evicts_everything_and_writes_back_dirty():
     written = []
     cache = Cache(4 * 64, 2, writeback_sink=written.append)

@@ -1,0 +1,43 @@
+"""Golden-metrics determinism: object-trace vs array-trace fast path.
+
+``Simulator.run`` dispatches array-backed traces to ``design.process_fast``
+and plain iterables of ``MemoryAccess`` to ``design.process``.  Both paths
+must execute the identical sequence of cache/engine/RL operations, so the
+full ``SimulationResult.to_dict()`` payload has to be *byte-identical*
+between them — the contract that lets the hot path stay allocation-free
+without ever becoming a second, subtly different simulator.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.config import small_test_config
+from repro.sim.simulator import simulate
+from repro.workloads.micro import zipf_trace
+
+DESIGNS = ["np", "morphctr", "early", "cosmos"]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """A seeded mixed read/write trace with real reuse (Zipf popularity)."""
+    return zipf_trace(n=6000, alpha=1.0, write_fraction=0.4, seed=11)
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_object_and_array_paths_are_byte_identical(design, trace):
+    config = small_test_config(num_cores=1)
+    # Plain list => legacy object path (no ``arrays`` attribute to sniff).
+    object_result = simulate(design, list(trace.accesses), config, workload="zipf")
+    # Trace => array fast path (``Simulator.run`` calls ``trace.arrays()``).
+    array_result = simulate(design, trace, config, workload="zipf")
+    object_json = json.dumps(object_result.to_dict(), sort_keys=True)
+    array_json = json.dumps(array_result.to_dict(), sort_keys=True)
+    assert object_json == array_json
+
+
+def test_array_path_actually_processes_every_access(trace):
+    config = small_test_config(num_cores=1)
+    result = simulate("np", trace, config)
+    assert result.accesses == len(trace)
