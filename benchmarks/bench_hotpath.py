@@ -6,11 +6,24 @@ it runs :func:`repro.bench.perf.run_benchmark` once and writes the
 archive throughput over time.  Run standalone via::
 
     python -m repro.bench.perf [--profile DESIGN]
+
+``REPRO_PERF_GATE=1`` additionally asserts the measured throughput stays
+within 3% of the committed ``BENCH_hotpath.json`` baseline — the
+observability layer's zero-overhead-when-off budget.  Off by default
+because shared CI runners are too noisy to gate on.
 """
 
+import json
+import os
 from pathlib import Path
 
 from repro.bench.perf import DEFAULT_DESIGNS, run_benchmark, write_report
+
+#: Allowed obs-disabled throughput regression vs. the committed baseline.
+PERF_BUDGET = 0.03
+
+#: The committed baseline (repo root, one level above this file).
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
 
 def test_hotpath_throughput(run_once):
@@ -27,6 +40,18 @@ def test_hotpath_throughput(run_once):
         payload["results"]["np"]["accesses_per_sec"]
         >= payload["results"]["cosmos"]["accesses_per_sec"]
     )
+    if os.environ.get("REPRO_PERF_GATE") and BASELINE_PATH.is_file():
+        baseline = json.loads(BASELINE_PATH.read_text())["results"]
+        for name, entry in results.items():
+            reference = baseline.get(name, {}).get("accesses_per_sec")
+            if not reference:
+                continue
+            floor = reference * (1.0 - PERF_BUDGET)
+            assert entry["accesses_per_sec"] >= floor, (
+                f"{name}: {entry['accesses_per_sec']:,.0f} acc/s is more than "
+                f"{PERF_BUDGET:.0%} below the committed baseline "
+                f"({reference:,.0f} acc/s)"
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,6 +6,8 @@ Commands:
   reproductions (``fig2`` ... ``fig17``, ``tab1``, ``tab2``, ``tab4``,
   ablations), or all of them when none are named.
 * ``simulate -w WORKLOAD -d DESIGN [...]`` — one ad-hoc simulation.
+* ``obs summarize|dump|plot`` — inspect observability artifacts collected
+  by runs with ``REPRO_OBS=1`` (or the ``--obs`` flag).
 * ``list`` — show available experiments, designs and workloads.
 """
 
@@ -58,13 +60,17 @@ DESIGNS = [
 
 
 def _apply_execution_flags(args: argparse.Namespace) -> None:
-    """Propagate --jobs/--no-cache into the process-wide exec options."""
+    """Propagate --jobs/--no-cache/--obs into process-wide options."""
     from .exec import set_options
 
     if getattr(args, "jobs", None) is not None:
         set_options(jobs=args.jobs)
     if getattr(args, "no_cache", False):
         set_options(use_cache=False)
+    if getattr(args, "obs", False):
+        from . import obs
+
+        obs.set_enabled(True)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -138,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="do not read or write the on-disk simulation-result cache",
     )
+    reproduce.add_argument(
+        "--obs", action="store_true",
+        help="enable observability (spans, time-series, events; like REPRO_OBS=1)",
+    )
     reproduce.set_defaults(func=_cmd_reproduce)
 
     simulate = sub.add_parser("simulate", help="run one design on one workload")
@@ -152,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="do not read or write the on-disk simulation-result cache",
     )
+    simulate.add_argument(
+        "--obs", action="store_true",
+        help="enable observability (spans, time-series, events; like REPRO_OBS=1)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     report = sub.add_parser("report", help="run experiments and write REPORT.md")
@@ -162,11 +176,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = sub.add_parser("list", help="list experiments, designs, workloads")
     lister.set_defaults(func=_cmd_list)
+
+    from .obs.cli import add_obs_parser
+
+    add_obs_parser(sub)
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .obs.log import setup_logging
+
+    setup_logging()
     args = build_parser().parse_args(argv)
     return args.func(args)
 

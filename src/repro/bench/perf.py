@@ -16,6 +16,7 @@ Usage::
     python -m repro.bench.perf                    # measure, write report
     python -m repro.bench.perf --designs cosmos   # subset of designs
     python -m repro.bench.perf --profile cosmos   # cProfile top-N instead
+    python -m repro.bench.perf --obs-check        # obs on/off overhead ratio
 
 or via the pytest-benchmark wrapper ``benchmarks/bench_hotpath.py``.
 """
@@ -32,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import obs
 from ..sim.config import SimulationConfig
 from ..sim.simulator import Simulator, build_design
 from ..workloads.micro import zipf_trace
@@ -84,12 +86,16 @@ def measure_design(
     arrays = trace.arrays()  # materialise outside the timed region
     runs: List[float] = []
     result = None
-    for _ in range(repeats):
-        design = build_design(design_name, config)
-        simulator = Simulator(design, config, workload=trace.name)
-        started = time.perf_counter()
-        result = simulator.run(arrays)
-        runs.append(time.perf_counter() - started)
+    # Observability is force-disabled for the timed region so the tracked
+    # baseline never silently includes instrumentation cost; the obs-check
+    # mode below measures the enabled path explicitly.
+    with obs.overridden(False):
+        for _ in range(repeats):
+            design = build_design(design_name, config)
+            simulator = Simulator(design, config, workload=trace.name)
+            started = time.perf_counter()
+            result = simulator.run(arrays)
+            runs.append(time.perf_counter() - started)
     best = min(runs)
     assert result is not None
     return {
@@ -147,6 +153,40 @@ def format_report(payload: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def obs_overhead_check(
+    design_name: str = "cosmos",
+    n: int = TRACE_N,
+    seed: int = TRACE_SEED,
+    repeats: int = 3,
+    config: Optional[SimulationConfig] = None,
+) -> Dict[str, float]:
+    """Measure throughput with observability off vs. on.
+
+    Returns ``{"off": acc/s, "on": acc/s, "on_off_ratio": on/off}`` — the
+    "zero-overhead-when-off" budget is enforced against the *off* number
+    (vs. the committed baseline), while the ratio quantifies what turning
+    sampling on costs (expected: a few percent at the default window).
+    """
+    config = config if config is not None else default_config()
+    trace = hotpath_trace(n=n, seed=seed)
+    arrays = trace.arrays()
+    timings: Dict[str, float] = {}
+    for label, switch in (("off", False), ("on", True)):
+        best = float("inf")
+        with obs.overridden(switch):
+            for _ in range(repeats):
+                design = build_design(design_name, config)
+                simulator = Simulator(design, config, workload=trace.name)
+                started = time.perf_counter()
+                simulator.run(arrays)
+                best = min(best, time.perf_counter() - started)
+        timings[label] = n / best if best > 0 else 0.0
+    timings["on_off_ratio"] = (
+        timings["on"] / timings["off"] if timings["off"] else 0.0
+    )
+    return timings
+
+
 def profile_design(
     design_name: str,
     n: int = TRACE_N,
@@ -194,9 +234,24 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         "--top", type=int, default=25,
         help="rows of the cProfile table with --profile (default: %(default)s)",
     )
+    parser.add_argument(
+        "--obs-check", metavar="DESIGN", nargs="?", const="cosmos", default=None,
+        help="measure observability overhead for DESIGN (default cosmos): "
+             "throughput with REPRO_OBS off vs on",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.profile is not None:
         print(profile_design(args.profile, n=args.n, seed=args.seed, top=args.top))
+        return 0
+    if args.obs_check is not None:
+        timings = obs_overhead_check(
+            args.obs_check, n=args.n, seed=args.seed, repeats=args.repeats
+        )
+        print(
+            f"{args.obs_check}: obs off {timings['off']:,.0f} acc/s"
+            f" · obs on {timings['on']:,.0f} acc/s"
+            f" · ratio {timings['on_off_ratio']:.3f}"
+        )
         return 0
     payload = run_benchmark(
         designs=args.designs, n=args.n, seed=args.seed, repeats=args.repeats

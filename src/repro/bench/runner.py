@@ -19,6 +19,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..sim.config import SimulationConfig, scaled_paper_config
 from ..sim.results import SimulationResult
 from ..sim.simulator import simulate
@@ -98,10 +99,12 @@ def get_trace(
         return cached
     path = cache_dir() / f"{key}.npz"
     if path.exists():
-        trace = load_trace(path)
+        with obs.span("trace_load", workload=workload, key=key):
+            trace = load_trace(path)
         _MEMORY_CACHE[key] = trace
         return trace
-    trace = _generate(workload, num_cores, length, scale, seed)
+    with obs.span("trace_generate", workload=workload, key=key):
+        trace = _generate(workload, num_cores, length, scale, seed)
     _MEMORY_CACHE[key] = trace
     try:
         save_trace(trace, path)

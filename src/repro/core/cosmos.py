@@ -17,7 +17,7 @@ predictor only) and COSMOS-CP (CTR predictor only) ablations (Table 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from .config import CosmosConfig
 from .lcr_cache import FLAG_GOOD
@@ -98,3 +98,43 @@ class CosmosController:
         action, score = self.locality.predict(ctr_block)
         flag = FLAG_GOOD if action == GOOD_LOCALITY else 0
         return flag, score
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def obs_counters(self) -> Dict[str, int]:
+        """Cumulative RL counters for windowed time-series sampling.
+
+        Read only at sample time (every N accesses) by
+        :class:`~repro.obs.timeseries.SimSampler`; never on the hot path.
+        """
+        counters: Dict[str, int] = {}
+        explorations = selections = 0
+        if self.location is not None:
+            stats = self.location.stats
+            counters["loc_correct"] = stats.correct_on_chip + stats.correct_off_chip
+            counters["loc_graded"] = stats.predictions
+            selector = self.location._selector
+            explorations += selector.explorations
+            selections += selector.explorations + selector.exploitations
+        if self.locality is not None:
+            stats = self.locality.stats
+            counters["ctrpred_good"] = stats.good_predictions
+            counters["ctrpred_total"] = stats.predictions
+            counters["cet_evictions"] = stats.cet_evictions
+            selector = self.locality._selector
+            explorations += selector.explorations
+            selections += selector.explorations + selector.exploitations
+        counters["rl_explorations"] = explorations
+        counters["rl_selections"] = selections
+        return counters
+
+    def obs_probes(self) -> Dict[str, Callable[[], float]]:
+        """Per-window gauge probes (sampled, not incremented)."""
+        probes: Dict[str, Callable[[], float]] = {}
+        if self.location is not None:
+            probes["rl_epsilon_d"] = lambda: self.location._selector.epsilon
+        if self.locality is not None:
+            probes["rl_epsilon_c"] = lambda: self.locality._selector.epsilon
+            probes["cet_occupancy"] = lambda: len(self.locality.cet)
+        return probes

@@ -19,7 +19,13 @@ from .options import (
     set_options,
 )
 from .runner import ExecutionError, ParallelRunner
-from .telemetry import JobRecord, ProgressTicker, RunReport
+from .telemetry import (
+    MANIFEST_VERSION,
+    JobRecord,
+    ProgressTicker,
+    RunReport,
+    load_manifest,
+)
 from .worker import run_job
 
 __all__ = [
@@ -28,10 +34,12 @@ __all__ = [
     "ExecutionOptions",
     "JobRecord",
     "JobSpec",
+    "MANIFEST_VERSION",
     "ParallelRunner",
     "ProgressTicker",
     "ResultCache",
     "RunReport",
+    "load_manifest",
     "canonical_config_dict",
     "get_options",
     "make_spec",

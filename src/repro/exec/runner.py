@@ -25,12 +25,13 @@ produce metric-identical results — the property the determinism test in
 from __future__ import annotations
 
 import multiprocessing
-import sys
 import time
 from collections import deque
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
+from ..obs.artifacts import write_chrome_trace
 from ..sim.results import SimulationResult
 from .cache import ResultCache
 from .jobs import JobSpec
@@ -112,48 +113,76 @@ class ParallelRunner:
         self.report = report
         results: Dict[str, SimulationResult] = {}
         ticker = ProgressTicker(len(ordered), enabled=self.ticker_enabled)
+        recorder = obs.SpanRecorder("exec.run") if obs.enabled() else None
 
-        # Phase 1: answer what the cache already knows.
-        misses: List[Tuple[str, JobSpec]] = []
-        for job_hash, spec in ordered:
-            cached = self.cache.get(job_hash) if self.cache is not None else None
-            if cached is not None:
-                results[job_hash] = cached
-                report.records.append(JobRecord(
-                    job_hash=job_hash, design=spec.design, workload=spec.workload,
-                    status="cached",
-                ))
-            else:
-                misses.append((job_hash, spec))
-            ticker.update(len(results), report.cache_hits, 0)
+        with obs.recording(recorder):
+            # Phase 1: answer what the cache already knows.
+            misses: List[Tuple[str, JobSpec]] = []
+            with obs.span("cache_probe", jobs=len(ordered)):
+                for job_hash, spec in ordered:
+                    cached = self.cache.get(job_hash) if self.cache is not None else None
+                    if cached is not None:
+                        results[job_hash] = cached
+                        report.records.append(JobRecord(
+                            job_hash=job_hash, design=spec.design, workload=spec.workload,
+                            status="cached",
+                        ))
+                    else:
+                        misses.append((job_hash, spec))
+                    ticker.update(len(results), report.cache_hits, 0)
 
-        # Phase 2: simulate the rest.  Pool mode is chosen by the requested
-        # job count (not the pending count): even a single job benefits from
-        # a worker process when a timeout must be enforceable.
-        workers = min(self.jobs, max(1, len(misses)))
-        if misses:
-            if self.jobs > 1:
-                pool_results = self._run_pool(misses, workers, report, ticker, len(ordered))
-            else:
-                pool_results = None
-            if pool_results is None:
-                report.workers, report.mode = 1, "serial"
-                self._run_serial(misses, report, ticker, results, len(ordered))
-            else:
-                results.update(pool_results)
-        else:
-            report.workers, report.mode = workers, "serial" if workers == 1 else "pool"
+            # Phase 2: simulate the rest.  Pool mode is chosen by the requested
+            # job count (not the pending count): even a single job benefits from
+            # a worker process when a timeout must be enforceable.
+            workers = min(self.jobs, max(1, len(misses)))
+            with obs.span("execute", pending=len(misses)):
+                if misses:
+                    if self.jobs > 1:
+                        pool_results = self._run_pool(
+                            misses, workers, report, ticker, len(ordered))
+                    else:
+                        pool_results = None
+                    if pool_results is None:
+                        report.workers, report.mode = 1, "serial"
+                        self._run_serial(misses, report, ticker, results, len(ordered))
+                    else:
+                        results.update(pool_results)
+                else:
+                    report.workers, report.mode = (
+                        workers, "serial" if workers == 1 else "pool")
 
         report.wall_time = time.monotonic() - started
-        ticker.close()
+        self._finalize_obs(report, recorder)
         if self.manifest_dir is not None:
             report.write_manifest(self.manifest_dir)
-        print(report.summary_line(), file=sys.stderr)
+            if recorder is not None and report.manifest_path is not None:
+                write_chrome_trace(
+                    report.manifest_path.with_suffix(".trace.json"), recorder)
+        ticker.close(summary=report.summary_line())
         failures = [record for record in report.records
                     if record.status not in ("ok", "cached")]
         if failures and self.strict:
             raise ExecutionError(failures)
         return results
+
+    def _finalize_obs(self, report: RunReport, recorder) -> None:
+        """Fold the span tree and registry snapshot into the report."""
+        if recorder is None:
+            return
+        report.spans = recorder.to_dict()
+        registry = obs.registry()
+        histogram = registry.histogram(
+            "exec.job_wall_time_s", bounds=obs.WALL_TIME_BUCKETS_S)
+        for record in report.records:
+            if record.status != "cached":
+                histogram.observe(record.wall_time)
+        registry.counter("exec.jobs_total").inc(report.total)
+        registry.counter("exec.jobs_cached").inc(report.cache_hits)
+        registry.counter("exec.jobs_failed").inc(report.failed)
+        report.metrics = registry.snapshot()
+        report.metrics["exec.wall_time_s"] = round(report.wall_time, 4)
+        report.metrics["exec.worker_utilisation"] = round(
+            report.worker_utilisation, 4)
 
     # ------------------------------------------------------------------
     # Serial fallback
@@ -173,7 +202,9 @@ class ParallelRunner:
                 record.attempts = attempt
                 job_started = time.monotonic()
                 try:
-                    result = self.fn(spec)
+                    with obs.span("job", design=spec.design,
+                                  workload=spec.workload, attempt=attempt):
+                        result = self.fn(spec)
                 except Exception as exc:  # noqa: BLE001 - retried, then reported
                     record.wall_time += time.monotonic() - job_started
                     record.error = f"{type(exc).__name__}: {exc}"

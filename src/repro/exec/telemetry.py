@@ -5,24 +5,34 @@ Two consumers, two shapes:
 * a **live stderr ticker** for humans watching a long sweep — jobs
   done/total, cache hit rate, running workers, elapsed wall time — which
   stays silent when stderr is not a terminal (or ``REPRO_NO_TICKER`` is
-  set), so test output and shell pipelines stay clean;
-* a **machine-readable run manifest** (JSON) recording per-job status,
-  attempts, wall time and cache provenance plus run-level aggregates —
-  written atomically next to the result cache so later tooling can mine
-  sweep history.
+  set); the closing summary line is emitted through the ``repro.exec``
+  logger, so even fully silent runs end with their totals;
+* a **machine-readable run manifest** (JSON, version 2) recording per-job
+  status, attempts, wall time and cache provenance, run-level aggregates,
+  and — when observability is on — the run's phase-span tree and top-level
+  metrics.  Written atomically next to the result cache so later tooling
+  can mine sweep history; :func:`RunReport.from_dict` still reads
+  version-1 manifests.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
-#: Manifest layout version.
-MANIFEST_VERSION = 1
+from ..obs import log as obs_log
+
+#: Manifest layout version.  v2 added the ``spans`` and ``metrics`` keys;
+#: v1 manifests (no such keys) are still accepted by :func:`RunReport.from_dict`.
+MANIFEST_VERSION = 2
+
+#: Fallback ticker width when the terminal size cannot be determined.
+_FALLBACK_COLUMNS = 80
 
 
 @dataclass
@@ -50,6 +60,19 @@ class JobRecord:
             data["error"] = self.error
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "JobRecord":
+        """Inverse of :meth:`to_dict` (both manifest versions)."""
+        return cls(
+            job_hash=str(data["job_hash"]),
+            design=str(data["design"]),
+            workload=str(data["workload"]),
+            status=str(data["status"]),
+            attempts=int(data.get("attempts", 0)),
+            wall_time=float(data.get("wall_time_s", 0.0)),
+            error=data.get("error"),  # type: ignore[arg-type]
+        )
+
 
 @dataclass
 class RunReport:
@@ -61,6 +84,12 @@ class RunReport:
     records: List[JobRecord] = field(default_factory=list)
     wall_time: float = 0.0
     manifest_path: Optional[Path] = None
+    #: Span tree of the run (``SpanRecorder.to_dict()``), when observability
+    #: recorded one.
+    spans: Optional[Dict[str, object]] = None
+    #: Flat top-level metrics embedded in the manifest (registry snapshot
+    #: plus run aggregates).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -97,7 +126,7 @@ class RunReport:
         return min(1.0, self.simulated_time / (self.workers * self.wall_time))
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "manifest_version": MANIFEST_VERSION,
             "jobs_requested": self.jobs_requested,
             "workers": self.workers,
@@ -112,8 +141,37 @@ class RunReport:
                 "simulated_time_s": round(self.simulated_time, 4),
                 "worker_utilisation": round(self.worker_utilisation, 4),
             },
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "spans": self.spans,
             "jobs": [record.to_dict() for record in self.records],
         }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        """Read a manifest payload — version 2 or the spans-less version 1.
+
+        Raises:
+            ValueError: For a manifest version newer than this reader.
+        """
+        version = int(data.get("manifest_version", 1))
+        if version > MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest version {version} is newer than supported "
+                f"({MANIFEST_VERSION})"
+            )
+        totals = data.get("totals", {})
+        report = cls(
+            jobs_requested=int(data.get("jobs_requested", 1)),
+            workers=int(data.get("workers", 1)),
+            mode=str(data.get("mode", "serial")),
+            records=[JobRecord.from_dict(j) for j in data.get("jobs", [])],
+            wall_time=float(totals.get("wall_time_s", 0.0)),
+            spans=data.get("spans"),  # absent (None) in v1 manifests
+            metrics={str(k): float(v)
+                     for k, v in data.get("metrics", {}).items()},
+        )
+        return report
 
     def write_manifest(self, directory: Path) -> Optional[Path]:
         """Atomically write the manifest into ``directory``; best-effort."""
@@ -140,15 +198,27 @@ class RunReport:
             parts.append(f"{self.failed} FAILED")
         if self.manifest_path is not None:
             parts.append(f"manifest {self.manifest_path}")
-        return "[repro.exec] " + " · ".join(parts)
+        return " · ".join(parts)
+
+
+def load_manifest(path: Path) -> RunReport:
+    """Read a run manifest (version 1 or 2) back into a :class:`RunReport`."""
+    import json
+
+    report = RunReport.from_dict(json.loads(Path(path).read_text()))
+    report.manifest_path = Path(path)
+    return report
 
 
 class ProgressTicker:
     """Single-line live progress display on stderr.
 
     Enabled only when stderr is a TTY and ``REPRO_NO_TICKER`` is unset;
-    otherwise every method is a no-op, making the ticker safe to drive
-    unconditionally from the runner.
+    otherwise the drawing methods are no-ops, making the ticker safe to
+    drive unconditionally from the runner.  The line is clamped to the
+    terminal width (re-read on every draw, so resizes are honoured), and
+    :meth:`close` always emits the final summary through the ``repro.exec``
+    logger — silent runs still end with their totals.
     """
 
     def __init__(self, total: int, enabled: Optional[bool] = None,
@@ -160,7 +230,19 @@ class ProgressTicker:
         self.min_interval = min_interval
         self._started = time.monotonic()
         self._last_draw = 0.0
+        self._last_width = 0
         self._dirty = False
+        if self.enabled:
+            obs_log.register_ticker(self)
+
+    @staticmethod
+    def _columns() -> int:
+        """Current terminal width (safe fallback when undetectable)."""
+        try:
+            columns = shutil.get_terminal_size(fallback=(_FALLBACK_COLUMNS, 24)).columns
+        except (OSError, ValueError):  # pragma: no cover - degenerate env
+            columns = _FALLBACK_COLUMNS
+        return max(20, columns)
 
     def update(self, done: int, cache_hits: int, running: int, force: bool = False) -> None:
         """Redraw the ticker line (rate-limited unless ``force``)."""
@@ -174,14 +256,34 @@ class ProgressTicker:
         self._dirty = False
         elapsed = now - self._started
         line = (
-            f"\r[repro.exec] {done}/{self.total} jobs"
+            f"[repro.exec] {done}/{self.total} jobs"
             f" · {cache_hits} cached · {running} running · {elapsed:.1f}s"
         )
-        sys.stderr.write(line.ljust(70))
+        # Clamp to the terminal: an overlong line would wrap and leave
+        # stale fragments that \r can no longer overwrite.
+        width = self._columns() - 1
+        if len(line) > width:
+            line = line[: max(0, width - 1)] + "…"
+        self._last_width = max(self._last_width, len(line))
+        sys.stderr.write("\r" + line.ljust(min(self._last_width, width)))
         sys.stderr.flush()
 
-    def close(self) -> None:
-        """Terminate the ticker line so subsequent output starts cleanly."""
-        if self.enabled:
-            sys.stderr.write("\r" + " " * 70 + "\r")
+    def clear_line(self) -> None:
+        """Erase the current ticker line (log handler hook)."""
+        if self.enabled and self._last_width:
+            sys.stderr.write("\r" + " " * min(self._last_width, self._columns() - 1) + "\r")
             sys.stderr.flush()
+
+    def close(self, summary: Optional[str] = None) -> None:
+        """Terminate the ticker line and emit the final summary.
+
+        The summary goes through the ``repro.exec`` logger, so it appears
+        whether or not the live ticker was enabled — a run can be silent
+        while in flight but never ends without its totals.
+        """
+        self.clear_line()
+        if self.enabled:
+            obs_log.unregister_ticker(self)
+        if summary is not None:
+            obs_log.setup_logging()
+            obs_log.get_logger("exec").info("%s", summary)

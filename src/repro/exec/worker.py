@@ -2,15 +2,20 @@
 
 :func:`run_job` is the function the process pool ships to workers; it must
 stay a top-level importable so it pickles by reference.  A job is entirely
-self-describing (see :class:`~repro.exec.jobs.JobSpec`), so execution never
-consults environment knobs — the same spec produces the same result in a
-worker process, a thread, or inline in the parent.
+self-describing (see :class:`~repro.exec.jobs.JobSpec`), so the *metrics*
+never depend on the environment — the same spec produces the same result in
+a worker process, a thread, or inline in the parent.  Observability
+(``REPRO_OBS``) is the one environment knob consulted, and it only adds
+side artifacts: phase spans, a windowed time-series and an event log per
+job, written under ``<cache_dir>/obs/<hash16>/``.
 """
 
 from __future__ import annotations
 
+from .. import obs
+from ..obs.artifacts import obs_root, write_job_artifacts
 from ..sim.results import SimulationResult
-from ..sim.simulator import simulate
+from ..sim.simulator import Simulator, build_design
 from .jobs import JobSpec
 
 
@@ -22,13 +27,55 @@ def run_job(spec: JobSpec) -> SimulationResult:
     workload pay the generation cost at most once per process and reuse
     the on-disk ``.npz`` across processes.
     """
-    from ..bench.runner import get_trace
+    from ..bench.runner import cache_dir, get_trace
 
-    trace = get_trace(
-        spec.workload,
-        num_cores=spec.num_cores,
-        max_accesses=spec.trace_length,
-        seed=spec.seed,
-        scale=spec.graph_scale,
+    if not obs.enabled():
+        trace = get_trace(
+            spec.workload,
+            num_cores=spec.num_cores,
+            max_accesses=spec.trace_length,
+            seed=spec.seed,
+            scale=spec.graph_scale,
+        )
+        return simulate_spec(spec, trace)
+
+    # Observability path: a fresh recorder per job (a pool worker has no
+    # run-level recorder; inline the per-job tree nests under the runner's
+    # "job" span only in the manifest, while the artifact keeps its own).
+    job_hash = spec.content_hash()
+    recorder = obs.SpanRecorder(f"job {spec.design}/{spec.workload}")
+    with obs.recording(recorder):
+        with obs.span("trace_gen", workload=spec.workload):
+            trace = get_trace(
+                spec.workload,
+                num_cores=spec.num_cores,
+                max_accesses=spec.trace_length,
+                seed=spec.seed,
+                scale=spec.graph_scale,
+            )
+        with obs.span("simulate", design=spec.design):
+            simulator = Simulator(
+                build_design(spec.design, spec.config), spec.config,
+                workload=spec.workload,
+            )
+            result = simulator.run(trace)
+    write_job_artifacts(
+        obs_root(cache_dir()),
+        job_hash,
+        recorder=recorder,
+        sampler=simulator.sampler,
+        meta={
+            "design": spec.design,
+            "workload": spec.workload,
+            "accesses": result.accesses,
+            "cycles": result.cycles,
+        },
     )
+    return result
+
+
+def simulate_spec(spec: JobSpec, trace) -> SimulationResult:
+    """The bare simulation of a spec over an already-generated trace."""
+    from ..sim.simulator import simulate
+
     return simulate(spec.design, trace, spec.config, workload=spec.workload)

@@ -65,6 +65,17 @@ class DramStats:
             return 0.0
         return self.row_hits / self.requests
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot for obs artifacts and reports."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_hit_rate": self.row_hit_rate,
+            "busy_cycles": self.busy_cycles,
+        }
+
 
 @dataclass
 class DramModel:

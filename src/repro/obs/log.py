@@ -1,0 +1,110 @@
+"""Central ``logging`` setup for the whole reproduction.
+
+Every diagnostic that used to be an ad-hoc ``print(..., file=sys.stderr)``
+now flows through a ``repro``-rooted :mod:`logging` hierarchy:
+
+* ``get_logger("exec")`` returns the ``repro.exec`` logger — call sites
+  never touch handlers;
+* :func:`setup_logging` installs a single stderr handler on the ``repro``
+  root, idempotently, with the level taken from ``REPRO_LOG``
+  (``debug`` | ``info`` | ``warning`` | ``error``, default ``info``);
+* the handler is **ticker-aware**: when a live
+  :class:`~repro.exec.telemetry.ProgressTicker` has a line on screen, the
+  handler erases it before emitting so log records never interleave with
+  the in-place progress line (the ticker redraws itself on its next
+  update).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Root of the repo's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: Environment variable selecting the level.
+LEVEL_ENV = "REPRO_LOG"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: The ticker (if any) currently drawing on stderr.  Registered by
+#: ``ProgressTicker`` so the handler can clear its line before logging.
+_ACTIVE_TICKER = None
+
+
+def register_ticker(ticker) -> None:
+    """Tell the log handler that ``ticker`` owns the current stderr line."""
+    global _ACTIVE_TICKER
+    _ACTIVE_TICKER = ticker
+
+
+def unregister_ticker(ticker) -> None:
+    """Drop ``ticker`` (no-op when another ticker took over already)."""
+    global _ACTIVE_TICKER
+    if _ACTIVE_TICKER is ticker:
+        _ACTIVE_TICKER = None
+
+
+class TickerAwareStreamHandler(logging.StreamHandler):
+    """Stderr handler that erases a live ticker line before each record."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        ticker = _ACTIVE_TICKER
+        if ticker is not None:
+            try:
+                ticker.clear_line()
+            except Exception:  # pragma: no cover - display only
+                pass
+        super().emit(record)
+
+
+def level_from_env(default: int = logging.INFO) -> int:
+    """The level named by ``REPRO_LOG`` (case-insensitive), else ``default``."""
+    name = os.environ.get(LEVEL_ENV, "").strip().lower()
+    return _LEVELS.get(name, default)
+
+
+def setup_logging(
+    level: Optional[int] = None,
+    stream=None,
+    force: bool = False,
+) -> logging.Logger:
+    """Install the stderr handler on the ``repro`` root logger.
+
+    Idempotent: repeated calls reuse the existing handler (unless
+    ``force`` replaces it) but always refresh the level, so a test that
+    monkeypatches ``REPRO_LOG`` and calls again sees the new level.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    ours = [h for h in logger.handlers if isinstance(h, TickerAwareStreamHandler)]
+    if force:
+        for handler in ours:
+            logger.removeHandler(handler)
+        ours = []
+    if not ours:
+        handler = TickerAwareStreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level if level is not None else level_from_env())
+    # The repo's diagnostics are self-contained; don't duplicate through
+    # any root-logger handlers an embedding application installed.
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

@@ -1,0 +1,264 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Components register instruments by **dotted name** (``exec.jobs.completed``,
+``sim.cosmos.ctr_hit_rate``) into a :class:`MetricsRegistry`.  Registration
+is idempotent — asking for an existing name returns the same instrument —
+so call sites never need to coordinate.
+
+When observability is off, call sites talk to :data:`NULL_SINK` instead: a
+registry whose instruments are shared no-op singletons.  Resolving an
+instrument once at construction time and calling it unconditionally then
+costs a single no-op method call, and code that caches
+``registry.counter(...)`` behind an ``is None`` check pays nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram layout for wall times in seconds (experiment jobs).
+WALL_TIME_BUCKETS_S: Tuple[float, ...] = (
+    0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Default histogram layout for per-access latencies in cycles.
+LATENCY_BUCKETS_CYCLES: Tuple[float, ...] = (
+    10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value, or a live callback evaluated at snapshot time.
+
+    Callback gauges are the zero-overhead workhorse: the simulator already
+    maintains every statistic, so observing it is just reading a field when
+    a snapshot is taken — nothing runs on the hot path.
+    """
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        """Record ``value`` (ignored for callback gauges)."""
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow bin.
+
+    Bucket bounds are set at registration time and never change, so two
+    reports of the same histogram are always comparable bin-for-bin.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a non-empty sorted sequence")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Count ``value`` into its bucket."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.sum / self.total
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": 0}
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    fn = None
+
+    def set(self, value: float) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": 0.0}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    bounds: Tuple[float, ...] = ()
+    total = 0
+    sum = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "histogram", "bounds": [], "counts": [0], "total": 0,
+                "sum": 0.0, "mean": 0.0}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Instruments keyed by dotted name; idempotent registration."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _register(self, name: str, kind: type, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._register(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        """The gauge called ``name``; ``fn`` makes it a live callback gauge."""
+        gauge = self._register(name, Gauge, lambda: Gauge(name, fn))
+        if fn is not None:
+            gauge.fn = fn  # re-registration refreshes the probe target
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = WALL_TIME_BUCKETS_S
+    ) -> Histogram:
+        """The fixed-bucket histogram called ``name``."""
+        return self._register(name, Histogram, lambda: Histogram(name, bounds))
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Registered names (optionally restricted to a dotted prefix)."""
+        if not prefix:
+            return sorted(self._instruments)
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return sorted(n for n in self._instruments
+                      if n == prefix.rstrip(".") or n.startswith(dotted))
+
+    def snapshot(self, prefix: str = "") -> Dict[str, float]:
+        """Flat ``{name: scalar}`` view (histograms report their mean)."""
+        out: Dict[str, float] = {}
+        for name in self.names(prefix):
+            instrument = self._instruments[name]
+            out[name] = float(instrument.value if not isinstance(instrument, Histogram)
+                              else instrument.mean)
+        return out
+
+    def to_dict(self, prefix: str = "") -> Dict[str, Dict[str, object]]:
+        """Full JSON-safe dump of every instrument."""
+        return {name: self._instruments[name].to_dict() for name in self.names(prefix)}
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and fresh sessions)."""
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class _NullRegistry:
+    """Registry stand-in whose instruments are shared no-ops."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, fn=None) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, bounds=WALL_TIME_BUCKETS_S) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def names(self, prefix: str = "") -> List[str]:
+        return []
+
+    def snapshot(self, prefix: str = "") -> Dict[str, float]:
+        return {}
+
+    def to_dict(self, prefix: str = "") -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The no-op sink handed out whenever observability is disabled.
+NULL_SINK = _NullRegistry()

@@ -39,6 +39,23 @@ class CtrCacheStats:
         return self.misses / self.accesses
 
     @property
+    def hit_rate(self) -> float:
+        """CTR-cache hit rate in [0, 1] — the obs layer's headline signal."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot for obs artifacts and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "good_locality_tags": self.good_locality_tags,
+            "bad_locality_tags": self.bad_locality_tags,
+        }
+
+    @property
     def good_locality_fraction(self) -> float:
         """Fraction of accesses tagged good-locality (paper Fig. 13)."""
         tagged = self.good_locality_tags + self.bad_locality_tags

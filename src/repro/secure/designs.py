@@ -28,7 +28,7 @@ under the per-core reading of the paper's 128KB; see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..core.config import CosmosConfig
 from ..core.cosmos import CosmosController, CosmosVariant
@@ -132,6 +132,28 @@ class SecureDesign:
             cache.stats.reset()
         self.hierarchy.llc.stats.reset()
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def obs_counters(self) -> Dict[str, int]:
+        """Cumulative counters snapshotted per observability window.
+
+        Read by :class:`~repro.obs.timeseries.SimSampler` every N accesses
+        — never from the per-access loop — so this can stay a plain dict
+        build.  Subclasses extend with their substrate's counters.
+        """
+        stats = self.stats
+        return {
+            "accesses": stats.accesses,
+            "l1_misses": stats.l1_misses,
+            "llc_misses": stats.llc_misses,
+            "bypasses": stats.bypasses,
+        }
+
+    def obs_probes(self) -> Dict[str, Callable[[], float]]:
+        """Custom per-design gauges sampled once per observability window."""
+        return {}
+
 
 class NonProtectedDesign(SecureDesign):
     """Plain memory system: no encryption, no counters, no MT."""
@@ -160,6 +182,13 @@ class NonProtectedDesign(SecureDesign):
         super().reset_stats()
         self._traffic.reset()
         self.dram.reset_stats()
+
+    def obs_counters(self) -> Dict[str, int]:
+        counters = super().obs_counters()
+        dram = self.dram.stats
+        counters["dram_requests"] = dram.requests
+        counters["dram_row_hits"] = dram.row_hits
+        return counters
 
     def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
         stats = self.stats
@@ -227,6 +256,25 @@ class ProtectedDesign(SecureDesign):
 
     def ctr_miss_rate(self) -> float:
         return self.engine.ctr_miss_rate
+
+    def obs_counters(self) -> Dict[str, int]:
+        counters = super().obs_counters()
+        engine = self.engine
+        ctr = engine.ctr_cache.stats
+        mt = engine.integrity.stats
+        dram = engine.dram.stats
+        counters.update(
+            ctr_hits=ctr.hits,
+            ctr_misses=ctr.misses,
+            mt_traversals=mt.traversals,
+            mt_nodes_fetched=mt.nodes_fetched,
+            dram_requests=dram.requests,
+            dram_row_hits=dram.row_hits,
+            ctr_overflows=engine.events.ctr_overflows,
+            writes_seen=engine.events.writes_seen,
+            reencryption_requests=engine.traffic.reencryption_requests,
+        )
+        return counters
 
     # ------------------------------------------------------------------
     # Shared latency formulas
@@ -418,6 +466,16 @@ class CosmosDesign(ProtectedDesign):
             controller.location.stats = type(controller.location.stats)()
         if controller.locality is not None:
             controller.locality.stats = type(controller.locality.stats)()
+
+    def obs_counters(self) -> Dict[str, int]:
+        counters = super().obs_counters()
+        counters.update(self.controller.obs_counters())
+        return counters
+
+    def obs_probes(self) -> Dict[str, Callable[[], float]]:
+        probes = super().obs_probes()
+        probes.update(self.controller.obs_probes())
+        return probes
 
     def _ctr_access(self, block: int):
         flag = score = None

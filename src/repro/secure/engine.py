@@ -108,6 +108,10 @@ class SecureMemoryEngine:
         # Optional hook set by COSMOS designs: maps a counter-line index to
         # a (locality_flag, locality_score) tag for write-path CTR accesses.
         self.ctr_classifier = None
+        # Optional observability event ring (repro.obs).  None keeps the
+        # write path free of any recording; when attached, only the rare
+        # counter-overflow branch records an event.
+        self.obs_events = None
 
     # ------------------------------------------------------------------
     # Internal traffic helpers
@@ -213,6 +217,13 @@ class SecureMemoryEngine:
         if event is not None:
             self.events.ctr_overflows += 1
             self.traffic.reencryption_requests += event.dram_requests
+            if self.obs_events is not None:
+                self.obs_events.record(
+                    "ctr_overflow",
+                    ctr_index=self.scheme.ctr_index(data_block),
+                    dram_requests=event.dram_requests,
+                    writes_seen=self.events.writes_seen,
+                )
         flag = score = None
         if self.ctr_classifier is not None:
             flag, score = self.ctr_classifier(self.scheme.ctr_index(data_block))
@@ -228,6 +239,21 @@ class SecureMemoryEngine:
     def ctr_miss_rate(self) -> float:
         """CTR-cache miss rate observed so far."""
         return self.ctr_cache.miss_rate
+
+    def register_obs_metrics(self, registry, prefix: str) -> None:
+        """Register live callback gauges under dotted ``prefix``.
+
+        Callback gauges read the stats the engine maintains anyway, so the
+        registration is the entire cost — nothing runs per access.
+        """
+        registry.gauge(f"{prefix}.ctr_hit_rate",
+                       fn=lambda: self.ctr_cache.stats.hit_rate)
+        registry.gauge(f"{prefix}.mt_avg_fetches",
+                       fn=lambda: self.integrity.stats.average_fetches)
+        registry.gauge(f"{prefix}.dram_row_hit_rate",
+                       fn=lambda: self.dram.stats.row_hit_rate)
+        registry.gauge(f"{prefix}.reencryption_rate",
+                       fn=lambda: self.events.reencryption_rate)
 
     def decrypt_ready_latency(self, ctr_latency: int) -> int:
         """Cycles until the OTP is ready, given when the CTR arrived."""

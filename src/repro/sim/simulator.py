@@ -22,8 +22,10 @@ golden-metrics determinism test.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from .. import obs
 from ..mem.access import AccessType, MemoryAccess
 from ..secure.counters import make_counter_scheme
 from ..secure.designs import CosmosDesign, SecureDesign, make_design
@@ -33,6 +35,33 @@ from .config import SimulationConfig
 from .results import SimulationResult
 
 _WRITE = int(AccessType.WRITE)
+
+
+def _merge_hooks(
+    progress_hook: Optional[Callable[[int, "Simulator"], None]],
+    progress_interval: int,
+    sampler: "obs.SimSampler",
+) -> tuple:
+    """Combine a caller's progress hook with the observability sampler.
+
+    With no caller hook the sampler simply takes the hook slot at its own
+    cadence.  With both, the loop runs at the gcd of the two intervals and
+    each consumer fires only on its own multiples, preserving the exact
+    callback sequence either would have seen alone.
+    """
+    if progress_hook is None:
+        return sampler, sampler.interval
+    user_hook, user_interval = progress_hook, progress_interval
+    sample_interval = sampler.interval
+    interval = math.gcd(user_interval, sample_interval)
+
+    def merged(done: int, simulator: "Simulator") -> None:
+        if done % user_interval == 0:
+            user_hook(done, simulator)
+        if done % sample_interval == 0:
+            sampler.sample(done)
+
+    return merged, interval
 
 
 def build_layout(config: SimulationConfig) -> SecureLayout:
@@ -70,6 +99,9 @@ class Simulator:
         self.workload = workload
         self.total_latency = 0
         self.accesses = 0
+        #: Windowed time-series sampler of the last observed run (populated
+        #: by :meth:`run` only when observability is enabled).
+        self.sampler: Optional[obs.SimSampler] = None
 
     def run(
         self,
@@ -94,7 +126,29 @@ class Simulator:
             warmup_accesses: Accesses to process before the measurement
                 window: caches fill and predictors train during warmup,
                 but every statistic is reset afterwards.
+
+        When observability is enabled (``REPRO_OBS=1``), a
+        :class:`~repro.obs.timeseries.SimSampler` rides in the progress-hook
+        slot: every sampling window it snapshots CTR-cache hit rate, MT
+        verify depth, DRAM row-buffer hit rate and RL predictor state into
+        ``self.sampler.series``, and rare events (counter overflows,
+        re-encryption storms, predictor mode flips) into
+        ``self.sampler.events``.  When disabled, the hookless fast loops
+        run exactly as before — this check is the only cost.
         """
+        sampler: Optional[obs.SimSampler] = None
+        if obs.enabled():
+            sampler = obs.SimSampler(self)
+            self.sampler = sampler
+            engine = getattr(self.design, "engine", None)
+            if engine is not None:
+                engine.obs_events = sampler.events
+                engine.register_obs_metrics(
+                    obs.registry(), f"sim.{self.design.name}"
+                )
+            progress_hook, progress_interval = _merge_hooks(
+                progress_hook, progress_interval, sampler
+            )
         arrays: Optional[TraceArrays] = None
         if isinstance(trace, TraceArrays):
             arrays = trace
@@ -102,10 +156,13 @@ class Simulator:
             to_arrays = getattr(trace, "arrays", None)
             if callable(to_arrays):
                 arrays = to_arrays()
-        if arrays is not None:
-            self._run_arrays(arrays, progress_hook, progress_interval, warmup_accesses)
-        else:
-            self._run_objects(trace, progress_hook, progress_interval, warmup_accesses)
+        with obs.span("sim.run", design=self.design.name, workload=self.workload):
+            if arrays is not None:
+                self._run_arrays(arrays, progress_hook, progress_interval, warmup_accesses)
+            else:
+                self._run_objects(trace, progress_hook, progress_interval, warmup_accesses)
+        if sampler is not None:
+            sampler.finish(self.accesses)
         return self.result()
 
     def _run_arrays(

@@ -18,17 +18,22 @@ def _hermetic_exec_env(monkeypatch):
 
     The suite's fixtures assert exact trace lengths and serial behaviour,
     so an outer ``REPRO_QUICK=1`` (e.g. the CI workflow) or ``REPRO_JOBS``
-    must not leak in.  Explicit exec-option overrides are also dropped
+    must not leak in.  Explicit exec-option overrides and observability
+    state (registry, span recorder, enabled override) are also dropped
     between tests.
     """
+    from repro import obs
     from repro.exec import reset_options
 
     for var in ("REPRO_QUICK", "REPRO_JOBS", "REPRO_NO_CACHE", "REPRO_JOB_TIMEOUT",
-                "REPRO_TRACE_LEN", "REPRO_GRAPH_SCALE", "REPRO_CACHE_DIR"):
+                "REPRO_TRACE_LEN", "REPRO_GRAPH_SCALE", "REPRO_CACHE_DIR",
+                "REPRO_OBS", "REPRO_OBS_INTERVAL", "REPRO_LOG", "REPRO_NO_TICKER"):
         monkeypatch.delenv(var, raising=False)
     reset_options()
+    obs.reset()
     yield
     reset_options()
+    obs.reset()
 
 
 @pytest.fixture

@@ -52,3 +52,39 @@ def test_reproduce_unknown_experiment(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_simulate_with_obs_writes_artifacts(tmp_path, monkeypatch, capsys):
+    from repro.obs.artifacts import list_jobs, obs_root
+
+    monkeypatch.setenv("REPRO_OBS_INTERVAL", "500")
+    assert main(["simulate", "-d", "morphctr", "-w", "dfs", "-n", "1500",
+                 "--obs"]) == 0
+    jobs = list_jobs(obs_root(runner.cache_dir()))
+    assert len(jobs) == 1
+    assert (jobs[0] / "timeseries.npz").is_file()
+    assert (jobs[0] / "spans.trace.json").is_file()
+    capsys.readouterr()
+
+    # The obs subcommands read those artifacts back.
+    assert main(["obs", "summarize"]) == 0
+    out = capsys.readouterr().out
+    assert "morphctr/dfs" in out
+    assert "latest manifest" in out
+
+    assert main(["obs", "dump", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "ctr_hit_rate" in out
+
+    assert main(["obs", "plot", "0", "ctr_hit_rate"]) == 0
+    assert "ctr_hit_rate" in capsys.readouterr().out
+
+
+def test_obs_summarize_empty_cache(tmp_path, capsys):
+    assert main(["obs", "--cache-dir", str(tmp_path), "summarize"]) == 0
+    assert "no observability artifacts" in capsys.readouterr().out
+
+
+def test_obs_dump_unknown_job(tmp_path, capsys):
+    assert main(["obs", "--cache-dir", str(tmp_path), "dump", "zzz"]) == 2
+    assert "no unique job" in capsys.readouterr().err
