@@ -180,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .obs.cli import add_obs_parser
 
     add_obs_parser(sub)
+
+    from .verify.cli import add_verify_parser
+
+    add_verify_parser(sub)
     return parser
 
 

@@ -99,10 +99,19 @@ def get_trace(
         return cached
     path = cache_dir() / f"{key}.npz"
     if path.exists():
-        with obs.span("trace_load", workload=workload, key=key):
-            trace = load_trace(path)
-        _MEMORY_CACHE[key] = trace
-        return trace
+        try:
+            with obs.span("trace_load", workload=workload, key=key):
+                trace = load_trace(path)
+        except (ValueError, OSError):
+            # Corrupt or truncated archive (interrupted copy, bad disk):
+            # treat it as a cache miss — drop the file and regenerate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        else:
+            _MEMORY_CACHE[key] = trace
+            return trace
     with obs.span("trace_generate", workload=workload, key=key):
         trace = _generate(workload, num_cores, length, scale, seed)
     _MEMORY_CACHE[key] = trace

@@ -62,6 +62,10 @@ class EventRing:
         """The retained events, oldest first."""
         return list(self._ring)
 
+    def filter(self, kind: str) -> List[Dict[str, object]]:
+        """The retained events of one ``kind``, oldest first."""
+        return [event for event in self._ring if event.get("kind") == kind]
+
     def to_jsonl(self) -> str:
         """One JSON object per line (empty string when no events)."""
         return "\n".join(json.dumps(event, sort_keys=True) for event in self._ring)

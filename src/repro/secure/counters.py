@@ -73,6 +73,22 @@ class CounterScheme:
         """Counter storage cost in bits per protected data block."""
         return 512.0 / self.blocks_per_ctr
 
+    # ------------------------------------------------------------------
+    # Attack surface (for security testing)
+    # ------------------------------------------------------------------
+    def snapshot_line(self, ctr_index: int) -> object:
+        """Copy one counter line's security state (for rollback attacks).
+
+        The snapshot captures exactly the state that determines
+        ``counter_value`` for the covered blocks — what an attacker with
+        access to counter DRAM could record and later replay.
+        """
+        raise NotImplementedError
+
+    def restore_line(self, ctr_index: int, snapshot: object) -> None:
+        """Overwrite a counter line with an earlier :meth:`snapshot_line`."""
+        raise NotImplementedError
+
 
 class MonolithicCounters(CounterScheme):
     """One 64-bit counter per data block; eight counters per 64B line."""
@@ -96,6 +112,21 @@ class MonolithicCounters(CounterScheme):
     def updates_to(self, ctr_index: int) -> int:
         return self._line_updates.get(ctr_index, 0)
 
+    def snapshot_line(self, ctr_index: int) -> object:
+        base = ctr_index * self.blocks_per_ctr
+        return tuple(
+            self._counters.get(base + offset, 0)
+            for offset in range(self.blocks_per_ctr)
+        )
+
+    def restore_line(self, ctr_index: int, snapshot: object) -> None:
+        base = ctr_index * self.blocks_per_ctr
+        for offset, value in enumerate(snapshot):
+            if value:
+                self._counters[base + offset] = value
+            else:
+                self._counters.pop(base + offset, None)
+
 
 @dataclass
 class _SplitLine:
@@ -107,7 +138,31 @@ class _SplitLine:
     max_minor: int = 0
 
 
-class SplitCounters(CounterScheme):
+class _SplitLineSnapshots:
+    """Snapshot/restore over a ``_lines`` dict of :class:`_SplitLine`.
+
+    Shared by the split and MorphCtr schemes; captures only the
+    security-relevant state (major + minors), not the ``updates``
+    bookkeeping, mirroring what lives in counter DRAM.
+    """
+
+    _lines: Dict[int, _SplitLine]
+
+    def snapshot_line(self, ctr_index: int) -> object:
+        line = self._lines.get(ctr_index)
+        if line is None:
+            return (0, {})
+        return (line.major, dict(line.minors))
+
+    def restore_line(self, ctr_index: int, snapshot: object) -> None:
+        major, minors = snapshot
+        line = self._line(ctr_index)  # type: ignore[attr-defined]
+        line.major = major
+        line.minors = dict(minors)
+        line.max_minor = max(minors.values(), default=0)
+
+
+class SplitCounters(_SplitLineSnapshots, CounterScheme):
     """Split counters: 64-bit major + 64 seven-bit minors per line (1:64)."""
 
     blocks_per_ctr = 64
@@ -153,7 +208,7 @@ class SplitCounters(CounterScheme):
         return line.updates if line is not None else 0
 
 
-class MorphCtrCounters(CounterScheme):
+class MorphCtrCounters(_SplitLineSnapshots, CounterScheme):
     """MorphCtr: morphable 1:128 counter lines with ZCC.
 
     Line layout (512 bits): 57-bit major, 7-bit format field, 448 bits of
@@ -222,6 +277,104 @@ class MorphCtrCounters(CounterScheme):
         if cls._fits_zcc(minors):
             return "zcc"
         return "overflow"
+
+    # ------------------------------------------------------------------
+    # Bit-level line encoding (pack / unpack)
+    # ------------------------------------------------------------------
+    #: Format-field flag selecting the ZCC family; the low 6 bits carry the
+    #: per-minor width.  A clear flag selects the uniform family.
+    ZCC_FORMAT_FLAG = 0x40
+    #: Widest per-minor field the 7-bit format field can describe.  The
+    #: in-memory feasibility check (:meth:`representable`) is deliberately
+    #: width-agnostic — reaching a 64-bit minor would take 2^63 writes to
+    #: one block — but the bit-level image must fit the field.
+    MAX_PACKED_MINOR_BITS = 0x3F
+    #: Bytes in one packed counter line.
+    LINE_BYTES = 64
+
+    @classmethod
+    def pack_line(cls, major: int, minors: Dict[int, int]) -> bytes:
+        """Serialise one counter line into its 512-bit DRAM image.
+
+        Layout (little-endian bit order): bits ``[0, 57)`` hold the major,
+        bits ``[57, 64)`` the format field, bits ``[64, 512)`` the minor
+        storage.  The uniform family stores all 128 minors at the fixed
+        3-bit width; the ZCC family stores a 128-bit zero bitmap followed
+        by the non-zero minors, ascending by offset, at the width written
+        in the format field.  The cheapest feasible family is chosen —
+        the same preference order :meth:`format_of` reports.
+
+        Raises:
+            OverflowError: If no format can represent ``minors`` (the
+                condition that forces a page re-encryption).
+            ValueError: If the major or an offset/minor is out of range.
+        """
+        if not 0 <= major < (1 << cls.major_bits):
+            raise ValueError(f"major {major} exceeds {cls.major_bits} bits")
+        for offset, value in minors.items():
+            if not 0 <= offset < cls.blocks_per_ctr:
+                raise ValueError(f"minor offset {offset} out of range")
+            if value < 0:
+                raise ValueError(f"minor value {value} is negative")
+        nonzero = {k: v for k, v in minors.items() if v > 0}
+        if cls._fits_uniform(minors):
+            width = cls.uniform_minor_bits
+            format_field = width
+            area = 0
+            for offset, value in nonzero.items():
+                area |= value << (offset * width)
+        elif cls._fits_zcc(minors):
+            width = max(v.bit_length() for v in nonzero.values())
+            if width > cls.MAX_PACKED_MINOR_BITS:
+                raise OverflowError(
+                    f"minor width {width} exceeds the {cls.format_bits}-bit "
+                    "format field's capacity"
+                )
+            format_field = cls.ZCC_FORMAT_FLAG | width
+            area = 0
+            for offset in nonzero:
+                area |= 1 << offset
+            cursor = cls.blocks_per_ctr
+            for offset in sorted(nonzero):
+                area |= nonzero[offset] << cursor
+                cursor += width
+        else:
+            raise OverflowError("minors are not representable in any format")
+        word = major | (format_field << cls.major_bits) | (area << 64)
+        return word.to_bytes(cls.LINE_BYTES, "little")
+
+    @classmethod
+    def unpack_line(cls, blob: bytes) -> tuple:
+        """Inverse of :meth:`pack_line`: ``(major, minors, format_name)``.
+
+        ``minors`` contains only the non-zero entries, matching the sparse
+        dictionaries the scheme maintains in memory.
+        """
+        if len(blob) != cls.LINE_BYTES:
+            raise ValueError(f"counter line must be {cls.LINE_BYTES} bytes")
+        word = int.from_bytes(blob, "little")
+        major = word & ((1 << cls.major_bits) - 1)
+        format_field = (word >> cls.major_bits) & ((1 << cls.format_bits) - 1)
+        area = word >> 64
+        width = format_field & cls.MAX_PACKED_MINOR_BITS
+        minors: Dict[int, int] = {}
+        if format_field & cls.ZCC_FORMAT_FLAG:
+            bitmap = area & ((1 << cls.blocks_per_ctr) - 1)
+            cursor = cls.blocks_per_ctr
+            mask = (1 << width) - 1
+            for offset in range(cls.blocks_per_ctr):
+                if bitmap & (1 << offset):
+                    minors[offset] = (area >> cursor) & mask
+                    cursor += width
+            name = "zcc"
+        else:
+            mask = (1 << width) - 1
+            for offset in range(cls.blocks_per_ctr):
+                value = (area >> (offset * width)) & mask
+                if value:
+                    minors[offset] = value
+            name = "uniform"
+        return major, minors, name
 
     # ------------------------------------------------------------------
     # CounterScheme interface

@@ -112,6 +112,12 @@ class SecureMemoryEngine:
         # write path free of any recording; when attached, only the rare
         # counter-overflow branch records an event.
         self.obs_events = None
+        # Optional verification hook (repro.verify): called after every MT
+        # authentication walk as on_authenticate(ctr_index, nodes_fetched).
+        # The differential oracle uses it to cross-check, live, that every
+        # counter-line DRAM fetch is authenticated exactly once.  None (the
+        # default) keeps the counter path callback-free.
+        self.on_authenticate = None
 
     # ------------------------------------------------------------------
     # Internal traffic helpers
@@ -173,6 +179,8 @@ class SecureMemoryEngine:
         self.traffic.mt_reads += fetched
         for node_address in addresses:
             self.dram.request(node_address)
+        if self.on_authenticate is not None:
+            self.on_authenticate(ctr_index, fetched)
 
     def _prefetch_counters(self, ctr_index: int) -> None:
         """Run the CTR-cache prefetcher (Figure 5's design space).

@@ -15,7 +15,7 @@ is sparse, so memories of billions of blocks cost only what you touch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from .aes import AesCtrEngine, LINE_BYTES
 from .counters import CounterScheme, MorphCtrCounters, ReencryptionEvent
@@ -24,7 +24,33 @@ from .merkle import MerkleTree
 
 
 class IntegrityViolation(Exception):
-    """Raised when a read fails MAC or Merkle-tree authentication."""
+    """Raised when an access fails MAC or Merkle-tree authentication.
+
+    Attributes:
+        kind: Which check fired — ``"mt"`` (counter-line tree walk) or
+            ``"mac"`` (per-block MAC).
+        block: Data block being accessed when the violation surfaced
+            (``None`` for pure counter-line failures).
+        ctr_index: Counter line involved.
+        level: For ``"mt"`` violations, the tree level of the first
+            mismatch as reported by
+            :meth:`~repro.secure.merkle.MerkleTree.verify_leaf_level`
+            (0 = leaf digest, ``k`` = internal level ``k - 1``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "mt",
+        block: Optional[int] = None,
+        ctr_index: Optional[int] = None,
+        level: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.block = block
+        self.ctr_index = ctr_index
+        self.level = level
 
 
 @dataclass
@@ -56,6 +82,11 @@ class FunctionalSecureMemory:
     num_blocks: int = 1 << 20
     scheme: Optional[CounterScheme] = None
     aes: AesCtrEngine = field(default_factory=AesCtrEngine)
+    #: Authenticate the counter line before incrementing it on a write.
+    #: A real memory controller verifies every counter it fetches, reads
+    #: *and* writes alike — without this, a rolled-back counter line is
+    #: silently "healed" by the next write and the replay goes undetected.
+    verify_writes: bool = True
 
     def __post_init__(self) -> None:
         if self.num_blocks <= 0:
@@ -67,7 +98,16 @@ class FunctionalSecureMemory:
         self.tree = MerkleTree(leaves, arity=2)
         self.stats = SecureMemoryStats()
         self._ciphertexts: Dict[int, bytes] = {}
-        self._mt_synced: Dict[int, bool] = {}
+        #: Optional observability event ring (``repro.obs``): when attached,
+        #: every detected violation is recorded as an ``integrity_violation``
+        #: event.  ``None`` (the default) costs nothing.
+        self.obs_events = None
+        #: Optional per-operation attack hook (``repro.verify``): called as
+        #: ``attack_hook(op, block)`` with ``op`` in ``("read", "write")``
+        #: *before* the operation executes, letting a harness inject
+        #: tampering mid-run on a deterministic schedule.  ``None`` (the
+        #: default) keeps the data path callback-free.
+        self.attack_hook: Optional[Callable[[str, int], None]] = None
 
     # ------------------------------------------------------------------
     # Internals
@@ -112,17 +152,61 @@ class FunctionalSecureMemory:
             self._ciphertexts[block] = new_ciphertext
             self.macs.update(block, new_ciphertext, counter)
 
+    def _raise_violation(
+        self,
+        message: str,
+        kind: str,
+        block: Optional[int],
+        ctr_index: Optional[int],
+        level: Optional[int] = None,
+    ) -> None:
+        self.stats.violations_detected += 1
+        if self.obs_events is not None:
+            self.obs_events.record(
+                "integrity_violation",
+                at=self.stats.reads + self.stats.writes,
+                check=kind,
+                block=block,
+                ctr_index=ctr_index,
+                level=level,
+            )
+        raise IntegrityViolation(
+            message, kind=kind, block=block, ctr_index=ctr_index, level=level
+        )
+
+    def _authenticate_ctr_line(self, ctr_index: int, block: Optional[int]) -> None:
+        """MT-verify a counter line, raising a structured violation."""
+        level = self.tree.verify_leaf_level(
+            ctr_index, self._ctr_leaf_payload(ctr_index)
+        )
+        if level is not None:
+            self._raise_violation(
+                f"counter-line {ctr_index} failed MT verification at level {level}",
+                kind="mt", block=block, ctr_index=ctr_index, level=level,
+            )
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     _pending_plaintexts: Dict[int, bytes] = field(default_factory=dict)
 
     def write(self, block: int, plaintext: bytes) -> None:
-        """Encrypt and store one 64B line (shorter payloads are padded)."""
+        """Encrypt and store one 64B line (shorter payloads are padded).
+
+        The covering counter line is authenticated before its counter is
+        incremented (see ``verify_writes``), so a write lands on tampered
+        counter state only by raising :class:`IntegrityViolation` first.
+        """
         self._check_block(block)
         if len(plaintext) > LINE_BYTES:
             raise ValueError(f"plaintext exceeds {LINE_BYTES} bytes")
+        if self.attack_hook is not None:
+            self.attack_hook("write", block)
         plaintext = plaintext.ljust(LINE_BYTES, b"\x00")
+        if self.verify_writes:
+            ctr_index = self.scheme.ctr_index(block)
+            if self.tree.has_leaf(ctr_index):
+                self._authenticate_ctr_line(ctr_index, block)
         self.stats.writes += 1
         # Stage every resident plaintext in the page so a potential
         # overflow can re-encrypt losslessly.
@@ -149,18 +233,20 @@ class FunctionalSecureMemory:
     def read(self, block: int) -> bytes:
         """Authenticate and decrypt one line; raises on tampering/replay."""
         self._check_block(block)
+        if self.attack_hook is not None:
+            self.attack_hook("read", block)
         self.stats.reads += 1
         ciphertext = self._ciphertexts.get(block)
         if ciphertext is None:
             raise KeyError(f"block {block} was never written")
         counter = self.scheme.counter_value(block)
         ctr_index = self.scheme.ctr_index(block)
-        if not self.tree.verify_leaf(ctr_index, self._ctr_leaf_payload(ctr_index)):
-            self.stats.violations_detected += 1
-            raise IntegrityViolation(f"counter-line {ctr_index} failed MT verification")
+        self._authenticate_ctr_line(ctr_index, block)
         if not self.macs.verify(block, ciphertext, counter):
-            self.stats.violations_detected += 1
-            raise IntegrityViolation(f"block {block} failed MAC verification")
+            self._raise_violation(
+                f"block {block} failed MAC verification",
+                kind="mac", block=block, ctr_index=ctr_index,
+            )
         return self.aes.decrypt(ciphertext, block << 6, counter)
 
     # ------------------------------------------------------------------
@@ -175,6 +261,21 @@ class FunctionalSecureMemory:
         """Copy a block's ciphertext (for replay-attack tests)."""
         self._check_block(block)
         return self._ciphertexts[block]
+
+    def tamper_swap(self, block_a: int, block_b: int) -> None:
+        """Relocate two blocks' lines — ciphertexts *and* their MACs.
+
+        The strongest variant of the cross-address attack: the attacker
+        moves a whole (ciphertext, MAC) pair to another address.  Detected
+        because the MAC binds the physical address.
+        """
+        self._check_block(block_a)
+        self._check_block(block_b)
+        ciphertexts = self._ciphertexts
+        ciphertexts[block_a], ciphertexts[block_b] = (
+            ciphertexts[block_b], ciphertexts[block_a],
+        )
+        self.macs.swap(block_a, block_b)
 
     @property
     def resident_blocks(self) -> int:

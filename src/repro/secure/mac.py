@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 #: Width of a stored MAC in bits.
 MAC_BITS = 64
@@ -41,6 +41,12 @@ class MacStore:
 
     key: bytes = b"cosmos-mac"
     _macs: Dict[int, int] = field(default_factory=dict)
+    #: Optional verification observer (``repro.verify``): called after every
+    #: :meth:`verify` as ``on_verify(data_block, ok)``.  ``None`` (the
+    #: default) keeps verification free of any callback cost.
+    on_verify: Optional[Callable[[int, bool], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def update(self, data_block: int, ciphertext: bytes, counter: int) -> int:
         """Recompute and store the MAC for a written block; returns it."""
@@ -51,13 +57,41 @@ class MacStore:
     def verify(self, data_block: int, ciphertext: bytes, counter: int) -> bool:
         """True when the stored MAC matches the supplied contents."""
         expected = self._macs.get(data_block)
-        if expected is None:
-            return False
-        return expected == compute_mac(ciphertext, data_block << 6, counter, self.key)
+        ok = expected is not None and expected == compute_mac(
+            ciphertext, data_block << 6, counter, self.key
+        )
+        if self.on_verify is not None:
+            self.on_verify(data_block, ok)
+        return ok
 
     def known_blocks(self) -> int:
         """Number of blocks with a recorded MAC."""
         return len(self._macs)
+
+    # ------------------------------------------------------------------
+    # Attack surface (for security testing)
+    # ------------------------------------------------------------------
+    def snapshot(self, data_block: int) -> Optional[int]:
+        """Copy a block's stored MAC (for stale-MAC replay tests)."""
+        return self._macs.get(data_block)
+
+    def restore(self, data_block: int, mac: Optional[int]) -> None:
+        """Overwrite (or erase, with ``None``) a stored MAC, as an attacker
+        controlling the MAC region could."""
+        if mac is None:
+            self._macs.pop(data_block, None)
+        else:
+            self._macs[data_block] = mac
+
+    def swap(self, block_a: int, block_b: int) -> None:
+        """Exchange two blocks' stored MACs (cross-address relocation)."""
+        self._macs[block_a], self._macs[block_b] = (
+            self._macs.get(block_b),
+            self._macs.get(block_a),
+        )
+        for block in (block_a, block_b):
+            if self._macs[block] is None:
+                del self._macs[block]
 
 
 class MacTrafficModel:

@@ -50,6 +50,11 @@ class MerkleTree:
             raise ValueError("arity must be >= 2")
         self.num_leaves = num_leaves
         self.arity = arity
+        #: Optional verification observer (``repro.verify``): called after
+        #: every :meth:`verify_leaf` as ``on_verify(leaf_index, failed_level)``
+        #: with ``failed_level is None`` for an authentic leaf.  ``None``
+        #: keeps verification free of any callback cost.
+        self.on_verify = None
         self._leaves: Dict[int, bytes] = {}
         # _nodes[level][index]; level 0 = parents of leaves.
         self._nodes: List[Dict[int, bytes]] = []
@@ -82,6 +87,11 @@ class MerkleTree:
         """Digest of leaf ``leaf_index`` (default if never written)."""
         self._check_leaf(leaf_index)
         return self._leaves.get(leaf_index, self._default_leaf)
+
+    def has_leaf(self, leaf_index: int) -> bool:
+        """True once ``leaf_index`` has been written (non-default digest)."""
+        self._check_leaf(leaf_index)
+        return leaf_index in self._leaves
 
     def node_digest(self, level: int, index: int) -> bytes:
         """Digest of the internal node at (level, index)."""
@@ -133,26 +143,76 @@ class MerkleTree:
         sibling digests and compares with the on-chip root; any tampering
         along the way makes this return False.
         """
+        return self.verify_leaf_level(leaf_index, payload) is None
+
+    def verify_leaf_level(self, leaf_index: int, payload: bytes) -> Optional[int]:
+        """Authenticate ``payload`` and report *where* verification failed.
+
+        Returns ``None`` when the leaf is authentic.  Otherwise returns the
+        tree level of the first mismatch: ``0`` means the leaf digest itself
+        did not match ``payload``; ``k`` (``1 <= k <= levels``) means the
+        internal node at internal level ``k - 1`` disagreed with the hash of
+        its children.  The tamper-injection harness uses this to attribute a
+        detection to the exact spliced node.
+        """
         self._check_leaf(leaf_index)
+        failed: Optional[int] = None
         current = hashlib.sha256(payload).digest()
         if current != self.leaf_digest(leaf_index):
-            return False
-        index = leaf_index
-        for level in range(self.levels):
-            index //= self.arity
-            recomputed = _hash_children(self._children_digests(level, index))
-            if recomputed != self.node_digest(level, index):
-                return False
-        return True
+            failed = 0
+        else:
+            index = leaf_index
+            for level in range(self.levels):
+                index //= self.arity
+                recomputed = _hash_children(self._children_digests(level, index))
+                if recomputed != self.node_digest(level, index):
+                    failed = level + 1
+                    break
+        if self.on_verify is not None:
+            self.on_verify(leaf_index, failed)
+        return failed
 
+    # ------------------------------------------------------------------
+    # Attack surface (for security testing)
+    # ------------------------------------------------------------------
     def tamper_node(self, level: int, index: int, digest: bytes) -> None:
         """Overwrite an internal node (attack simulation for tests)."""
         self._nodes[level][index] = digest
+
+    def path_nodes(self, leaf_index: int) -> List[Tuple[int, int]]:
+        """The ``(level, index)`` internal nodes on a leaf's path to the root."""
+        self._check_leaf(leaf_index)
+        nodes: List[Tuple[int, int]] = []
+        index = leaf_index
+        for level in range(self.levels):
+            index //= self.arity
+            nodes.append((level, index))
+        return nodes
+
+    def subtree_leaves(self, level: int, index: int) -> Tuple[int, int]:
+        """Half-open leaf range ``[first, last)`` covered by node (level, index)."""
+        span = self.arity ** (level + 1)
+        first = index * span
+        return first, min(first + span, self.num_leaves)
 
     def tamper_leaf(self, leaf_index: int, digest: bytes) -> None:
         """Overwrite a leaf digest without re-hashing (attack simulation)."""
         self._check_leaf(leaf_index)
         self._leaves[leaf_index] = digest
+
+    def rehash_ancestors(self, level: int, index: int) -> None:
+        """Recompute every node from (level, index)'s parent up to the root.
+
+        Used by the tamper harness to *repair* the tree after undoing a
+        node splice: writes that landed elsewhere while the splice was
+        armed re-hashed their paths through the tampered digest, so the
+        ancestors above the restored node may be stale.
+        """
+        for parent_level in range(level + 1, self.levels):
+            index //= self.arity
+            self._nodes[parent_level][index] = _hash_children(
+                self._children_digests(parent_level, index)
+            )
 
     def _check_leaf(self, leaf_index: int) -> None:
         if not 0 <= leaf_index < self.num_leaves:

@@ -109,6 +109,7 @@ class Simulator:
         progress_hook: Optional[Callable[[int, "Simulator"], None]] = None,
         progress_interval: int = 100_000,
         warmup_accesses: int = 0,
+        path: Optional[str] = None,
     ) -> SimulationResult:
         """Simulate every access in ``trace`` and return the result.
 
@@ -126,6 +127,14 @@ class Simulator:
             warmup_accesses: Accesses to process before the measurement
                 window: caches fill and predictors train during warmup,
                 but every statistic is reset afterwards.
+            path: Force a dispatch path instead of auto-detecting from the
+                trace type: ``"arrays"`` (the allocation-free fast loop) or
+                ``"objects"`` (the legacy ``design.process`` loop).  Both
+                paths execute the identical operation sequence and must
+                produce byte-identical metrics — the contract the
+                differential oracle (``repro.verify``) checks by running
+                the same trace down each one.  ``None``/``"auto"`` keeps
+                the existing behaviour.
 
         When observability is enabled (``REPRO_OBS=1``), a
         :class:`~repro.obs.timeseries.SimSampler` rides in the progress-hook
@@ -149,13 +158,22 @@ class Simulator:
             progress_hook, progress_interval = _merge_hooks(
                 progress_hook, progress_interval, sampler
             )
+        if path not in (None, "auto", "arrays", "objects"):
+            raise ValueError(
+                f"path must be 'arrays', 'objects' or 'auto', not {path!r}"
+            )
         arrays: Optional[TraceArrays] = None
-        if isinstance(trace, TraceArrays):
-            arrays = trace
-        else:
-            to_arrays = getattr(trace, "arrays", None)
-            if callable(to_arrays):
-                arrays = to_arrays()
+        if path != "objects":
+            if isinstance(trace, TraceArrays):
+                arrays = trace
+            else:
+                to_arrays = getattr(trace, "arrays", None)
+                if callable(to_arrays):
+                    arrays = to_arrays()
+            if arrays is None and path == "arrays":
+                arrays = TraceArrays.from_accesses(list(trace))
+        elif isinstance(trace, TraceArrays):
+            trace = trace.to_accesses()
         with obs.span("sim.run", design=self.design.name, workload=self.workload):
             if arrays is not None:
                 self._run_arrays(arrays, progress_hook, progress_interval, warmup_accesses)
@@ -304,12 +322,13 @@ def simulate(
     trace: Iterable[MemoryAccess],
     config: Optional[SimulationConfig] = None,
     workload: str = "trace",
+    path: Optional[str] = None,
 ) -> SimulationResult:
     """One-call convenience: build the design, run the trace, return results."""
     config = config if config is not None else SimulationConfig()
     design = build_design(design_name, config)
     simulator = Simulator(design, config, workload)
-    return simulator.run(trace)
+    return simulator.run(trace, path=path)
 
 
 def simulate_designs(

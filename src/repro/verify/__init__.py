@@ -1,0 +1,57 @@
+"""repro.verify: adversarial tamper injection + differential correctness.
+
+The trust story for the rest of the repository: the functional secure
+memory must *detect every physical attack* (no false negatives), stay
+silent on honest runs (no false positives), and the timing stack's two
+dispatch paths must be byte-identical.  This package attacks both claims
+mechanically — seeded tamper schedules through :mod:`~repro.verify.
+attack`, differential and invariant oracles through :mod:`~repro.verify.
+differential`, and a fuzz campaign over both through :mod:`~repro.verify.
+fuzz` (``python -m repro verify fuzz``).
+"""
+
+from .attack import AttackError, AttackHarness, AttackReport, Detection, run_attack
+from .differential import (
+    DifferentialReport,
+    Divergence,
+    check_invariants,
+    diff_functional,
+    diff_paths,
+    lockstep_paths,
+    run_with_invariants,
+)
+from .fuzz import replay, run_fuzz, shrink_case
+from .tamper import (
+    EXPECTED_DETECTOR,
+    TAMPER_KINDS,
+    Op,
+    TamperSpec,
+    affected_blocks,
+    generate_ops,
+    generate_schedule,
+)
+
+__all__ = [
+    "AttackError",
+    "AttackHarness",
+    "AttackReport",
+    "Detection",
+    "DifferentialReport",
+    "Divergence",
+    "EXPECTED_DETECTOR",
+    "Op",
+    "TAMPER_KINDS",
+    "TamperSpec",
+    "affected_blocks",
+    "check_invariants",
+    "diff_functional",
+    "diff_paths",
+    "generate_ops",
+    "generate_schedule",
+    "lockstep_paths",
+    "replay",
+    "run_attack",
+    "run_fuzz",
+    "run_with_invariants",
+    "shrink_case",
+]

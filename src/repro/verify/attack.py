@@ -1,0 +1,483 @@
+"""Adversarial tamper-injection harness over the functional secure memory.
+
+The harness drives a trace of :class:`~repro.verify.tamper.Op` records
+through a :class:`~repro.secure.functional.FunctionalSecureMemory` while a
+seeded :class:`~repro.verify.tamper.TamperSpec` schedule corrupts state
+mid-run — through the memory's ``attack_hook``, i.e. *inside* the victim
+operation, exactly as a bus-level attacker interposes.
+
+Contract enforced (and accounted in the :class:`AttackReport`):
+
+* **Zero false negatives** — every injection is detected: by the op it
+  lands in, by a later access to the corrupted region, by the
+  verify-on-write path, or by the end-of-run probe sweep.
+* **Zero false positives** — no :class:`IntegrityViolation` fires that is
+  not attributable to an armed injection (a schedule-free control run must
+  be completely silent).
+* **Correct attribution** — each class is caught by the right check
+  (:data:`~repro.verify.tamper.EXPECTED_DETECTOR`) at the right tree
+  level; anything else lands in ``misattributions``.
+* **Honest recovery** — detection triggers the injection's *undo* (the
+  attacker is evicted), the failed op is retried, and the run continues;
+  decrypted plaintexts are checked against a shadow model throughout.
+
+Detections are recorded in the shared obs :class:`~repro.obs.events.
+EventRing` as ``tamper_injected`` / ``tamper_detected`` events carrying
+the detection latency (in ops) and the failing tree level.
+
+Writes need care: overwriting a corrupted block would *heal* MAC-level
+tampering before anything noticed.  The harness therefore probe-reads the
+armed victim first (``via="probe_heal"``) whenever a write is about to
+touch an armed region that the verify-on-write path cannot catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..obs.events import EventRing
+from ..secure.functional import FunctionalSecureMemory, IntegrityViolation
+from .tamper import EXPECTED_DETECTOR, Op, TamperSpec, affected_blocks
+
+
+class AttackError(AssertionError):
+    """The secure-memory stack broke its detection contract."""
+
+
+@dataclass
+class Detection:
+    """One injection caught by the stack."""
+
+    spec_index: int
+    kind: str
+    injected_at: int
+    detected_at: int
+    via: str  # "read" | "write" | "probe" | "probe_heal"
+    detector: str  # exc.kind: "mt" | "mac"
+    level: Optional[int]
+    block: Optional[int]
+
+    @property
+    def latency(self) -> int:
+        """Detection latency in ops since the injection landed."""
+        return self.detected_at - self.injected_at
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec_index": self.spec_index,
+            "kind": self.kind,
+            "injected_at": self.injected_at,
+            "detected_at": self.detected_at,
+            "latency": self.latency,
+            "via": self.via,
+            "detector": self.detector,
+            "level": self.level,
+            "block": self.block,
+        }
+
+
+@dataclass
+class AttackReport:
+    """Outcome of one attacked (or control) run."""
+
+    num_ops: int
+    schedule: List[TamperSpec]
+    detections: List[Detection] = field(default_factory=list)
+    false_negatives: List[Dict[str, object]] = field(default_factory=list)
+    false_positives: List[Dict[str, object]] = field(default_factory=list)
+    misattributions: List[Dict[str, object]] = field(default_factory=list)
+    divergences: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every contract held on this run."""
+        return (
+            len(self.detections) == len(self.schedule)
+            and not self.false_negatives
+            and not self.false_positives
+            and not self.misattributions
+            and not self.divergences
+        )
+
+    def failures(self) -> List[str]:
+        """Human-readable contract breaches (empty when clean)."""
+        out: List[str] = []
+        for fn in self.false_negatives:
+            out.append(f"false negative: {fn}")
+        for fp in self.false_positives:
+            out.append(f"false positive: {fp}")
+        for mis in self.misattributions:
+            out.append(f"misattributed detection: {mis}")
+        for div in self.divergences:
+            out.append(f"plaintext divergence: {div}")
+        if len(self.detections) < len(self.schedule):
+            caught = {d.spec_index for d in self.detections}
+            for i, spec in enumerate(self.schedule):
+                if i not in caught:
+                    out.append(f"undetected injection: {spec.to_dict()}")
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_ops": self.num_ops,
+            "schedule": [s.to_dict() for s in self.schedule],
+            "detections": [d.to_dict() for d in self.detections],
+            "false_negatives": self.false_negatives,
+            "false_positives": self.false_positives,
+            "misattributions": self.misattributions,
+            "divergences": self.divergences,
+            "clean": self.clean,
+        }
+
+
+@dataclass
+class _Armed:
+    """Runtime state of an injected, not-yet-detected tamper."""
+
+    spec_index: int
+    spec: TamperSpec
+    injected_at: int
+    undo: Callable[[], None]
+    blocks: Set[int]
+    lines: Set[int]
+
+    @property
+    def mt_level(self) -> bool:
+        """True for tree-level tampers, whose blast radius is whole lines.
+
+        MAC-level tampers (bitflip, stale MAC, swap) corrupt only their
+        victim blocks — other blocks in the same counter line stay
+        perfectly readable.
+        """
+        return self.spec.kind in ("rollback", "splice")
+
+
+class AttackHarness:
+    """Runs a trace against a memory under a tamper schedule.
+
+    Args:
+        memory: The victim.  The harness takes over its ``attack_hook``
+            and ``obs_events`` slots for the duration of :meth:`run`.
+        events: Obs ring receiving ``tamper_injected`` / ``tamper_detected``
+            (and the memory's own ``integrity_violation``) events; a fresh
+            ring is created when omitted.
+    """
+
+    def __init__(
+        self,
+        memory: FunctionalSecureMemory,
+        events: Optional[EventRing] = None,
+    ) -> None:
+        self.memory = memory
+        self.events = events if events is not None else EventRing()
+        self._op_index = 0
+        self._probing = False
+        self._armed: List[_Armed] = []
+        self._snapshots: Dict[int, object] = {}
+        self._by_snapshot: Dict[int, List[int]] = {}
+        self._by_inject: Dict[int, List[int]] = {}
+        self._shadow: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # Drive
+    # ------------------------------------------------------------------
+    def run(self, ops: Sequence[Op], schedule: Sequence[TamperSpec] = ()) -> AttackReport:
+        """Execute ``ops`` with ``schedule`` injected; returns the report."""
+        memory = self.memory
+        self.report = AttackReport(num_ops=len(ops), schedule=list(schedule))
+        self._armed.clear()
+        self._snapshots.clear()
+        self._shadow.clear()
+        self._by_snapshot = {}
+        self._by_inject = {}
+        for i, spec in enumerate(schedule):
+            if spec.snapshot_at >= 0:
+                self._by_snapshot.setdefault(spec.snapshot_at, []).append(i)
+            self._by_inject.setdefault(spec.inject_at, []).append(i)
+
+        memory.attack_hook = self._hook
+        memory.obs_events = self.events
+        try:
+            for i, op in enumerate(ops):
+                self._op_index = i
+                if op.is_write:
+                    self._drain(i)
+                    self._probe_before_heal(op.block)
+                    self._do_write(op, i)
+                else:
+                    self._do_read(op, i)
+            self._op_index = len(ops)
+            self._drain(len(ops))
+            self._final_probe(len(ops))
+        finally:
+            memory.attack_hook = None
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Injection plumbing
+    # ------------------------------------------------------------------
+    def _hook(self, _op: str, _block: int) -> None:
+        """``attack_hook`` callback: fires inside read()/write()."""
+        if not self._probing:
+            self._drain(self._op_index)
+
+    def _drain(self, index: int) -> None:
+        """Apply every snapshot and injection scheduled at op ``index``."""
+        for spec_index in self._by_snapshot.pop(index, ()):
+            self._capture(spec_index, self.report.schedule[spec_index])
+        for spec_index in self._by_inject.pop(index, ()):
+            self._inject(spec_index, self.report.schedule[spec_index], index)
+
+    def _capture(self, spec_index: int, spec: TamperSpec) -> None:
+        memory = self.memory
+        if spec.kind == "rollback":
+            line = memory.scheme.ctr_index(spec.block)
+            self._snapshots[spec_index] = memory.scheme.snapshot_line(line)
+        elif spec.kind == "stale_mac":
+            self._snapshots[spec_index] = (
+                memory.snapshot_ciphertext(spec.block),
+                memory.macs.snapshot(spec.block),
+            )
+
+    def _inject(self, spec_index: int, spec: TamperSpec, index: int) -> None:
+        memory = self.memory
+        scheme = memory.scheme
+        if spec.kind == "bitflip":
+            old = memory.snapshot_ciphertext(spec.block)
+            flipped = bytearray(old)
+            flipped[spec.bit // 8] ^= 1 << (spec.bit % 8)
+            memory.tamper_ciphertext(spec.block, bytes(flipped))
+            undo = lambda: memory.tamper_ciphertext(spec.block, old)
+        elif spec.kind == "swap":
+            memory.tamper_swap(spec.block, spec.partner)
+            undo = lambda: memory.tamper_swap(spec.block, spec.partner)
+        elif spec.kind == "stale_mac":
+            stale_ct, stale_mac = self._snapshots.pop(spec_index)
+            cur_ct = memory.snapshot_ciphertext(spec.block)
+            cur_mac = memory.macs.snapshot(spec.block)
+            memory.tamper_ciphertext(spec.block, stale_ct)
+            memory.macs.restore(spec.block, stale_mac)
+
+            def undo(ct=cur_ct, mac=cur_mac):
+                memory.tamper_ciphertext(spec.block, ct)
+                memory.macs.restore(spec.block, mac)
+
+        elif spec.kind == "rollback":
+            line = scheme.ctr_index(spec.block)
+            stale = self._snapshots.pop(spec_index)
+            current = scheme.snapshot_line(line)
+            scheme.restore_line(line, stale)
+            undo = lambda: scheme.restore_line(line, current)
+        elif spec.kind == "splice":
+            line = scheme.ctr_index(spec.block)
+            node_index = line // (memory.tree.arity ** (spec.level + 1))
+            old_digest = memory.tree.node_digest(spec.level, node_index)
+            memory.tree.tamper_node(spec.level, node_index, spec.splice_digest())
+
+            def undo(level=spec.level, node=node_index, digest=old_digest):
+                # Writes outside the subtree may have re-hashed their paths
+                # through the tampered digest while it was armed, so the
+                # ancestors must be recomputed after the node is restored.
+                memory.tree.tamper_node(level, node, digest)
+                memory.tree.rehash_ancestors(level, node)
+        else:
+            raise ValueError(f"unknown tamper kind {spec.kind!r}")
+        blocks = affected_blocks(spec, memory)
+        self._armed.append(
+            _Armed(
+                spec_index=spec_index,
+                spec=spec,
+                injected_at=index,
+                undo=undo,
+                blocks=blocks,
+                lines={scheme.ctr_index(b) for b in blocks},
+            )
+        )
+        self.events.record(
+            "tamper_injected",
+            at=index,
+            tamper=spec.kind,
+            block=spec.block,
+            level=spec.level if spec.kind == "splice" else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Operations with detection accounting
+    # ------------------------------------------------------------------
+    def _do_write(self, op: Op, index: int) -> None:
+        try:
+            self.memory.write(op.block, op.payload)
+        except IntegrityViolation as exc:
+            self._on_violation(exc, index, via="write")
+            self.memory.write(op.block, op.payload)
+        self._shadow[op.block] = op.payload.ljust(64, b"\x00")
+
+    def _do_read(self, op: Op, index: int) -> None:
+        try:
+            value = self.memory.read(op.block)
+        except IntegrityViolation as exc:
+            self._on_violation(exc, index, via="read")
+            value = self.memory.read(op.block)
+        else:
+            armed = self._armed_covering(op.block, self.memory.scheme.ctr_index(op.block))
+            if armed is not None:
+                self.report.false_negatives.append(
+                    {
+                        "at": index,
+                        "block": op.block,
+                        "spec": armed.spec.to_dict(),
+                        "why": "read of tampered region did not raise",
+                    }
+                )
+        expected = self._shadow.get(op.block)
+        if expected is not None and value != expected:
+            self.report.divergences.append(
+                {"at": index, "block": op.block, "why": "decrypted plaintext != shadow"}
+            )
+
+    def _probe_before_heal(self, block: int) -> None:
+        """Probe-read armed victims a write to ``block`` would silently heal.
+
+        MAC-level tampering (bitflip, stale MAC, swap) lives in the block's
+        own ciphertext/MAC — overwriting the victim destroys the evidence,
+        and a write *anywhere in the victim's counter line* can do the same
+        indirectly by overflowing the minor counter and re-encrypting the
+        whole page (ciphertexts and MACs are rewritten).  A splice over a
+        line whose leaf does not exist yet is healed by the first write's
+        ``update_leaf`` (there is nothing for verify-on-write to check).
+        Rollback and leaf-backed splices are caught by the verify-on-write
+        path instead, so no probe is needed.
+        """
+        line = self.memory.scheme.ctr_index(block)
+        for armed in list(self._armed):
+            kind = armed.spec.kind
+            heals = False
+            if kind in ("bitflip", "stale_mac", "swap") and line in armed.lines:
+                heals = True
+            elif kind == "splice" and line in armed.lines and not self.memory.tree.has_leaf(line):
+                heals = True
+            if heals:
+                self._probe(armed, self._op_index, via="probe_heal")
+
+    def _final_probe(self, end: int) -> None:
+        """End-of-run sweep: every still-armed injection must be caught."""
+        for armed in list(self._armed):
+            self._probe(armed, end, via="probe")
+
+    def _probe(self, armed: _Armed, index: int, via: str) -> None:
+        self._probing = True
+        try:
+            self.memory.read(armed.spec.block)
+        except IntegrityViolation as exc:
+            self._on_violation(exc, index, via=via)
+        else:
+            self._armed.remove(armed)
+            armed.undo()
+            self.report.false_negatives.append(
+                {
+                    "at": index,
+                    "block": armed.spec.block,
+                    "spec": armed.spec.to_dict(),
+                    "why": f"{via} read of tampered victim did not raise",
+                }
+            )
+        finally:
+            self._probing = False
+
+    # ------------------------------------------------------------------
+    # Violation attribution
+    # ------------------------------------------------------------------
+    def _armed_covering(self, block: Optional[int], ctr_index: Optional[int]) -> Optional[_Armed]:
+        for armed in self._armed:
+            if armed.mt_level:
+                if ctr_index is not None and ctr_index in armed.lines:
+                    return armed
+                if block is not None and block in armed.blocks:
+                    return armed
+            elif block is not None and block in armed.blocks:
+                return armed
+        return None
+
+    def _on_violation(self, exc: IntegrityViolation, index: int, via: str) -> None:
+        armed = self._armed_covering(exc.block, exc.ctr_index)
+        if armed is None:
+            self.report.false_positives.append(
+                {
+                    "at": index,
+                    "via": via,
+                    "detector": exc.kind,
+                    "block": exc.block,
+                    "ctr_index": exc.ctr_index,
+                    "message": str(exc),
+                }
+            )
+            raise AttackError(
+                f"integrity violation with no armed injection at op {index}: {exc}"
+            ) from exc
+        spec = armed.spec
+        detection = Detection(
+            spec_index=armed.spec_index,
+            kind=spec.kind,
+            injected_at=armed.injected_at,
+            detected_at=index,
+            via=via,
+            detector=exc.kind,
+            level=exc.level,
+            block=exc.block,
+        )
+        self.report.detections.append(detection)
+        expected_detector = EXPECTED_DETECTOR[spec.kind]
+        expected_level: Optional[int] = None
+        if spec.kind == "rollback":
+            expected_level = 0
+        elif spec.kind == "splice":
+            # Leaves under the spliced node fail when the node is recomputed
+            # from its honest children; leaves under its siblings fail one
+            # level higher, when the parent's recomputation includes the
+            # tampered digest.
+            tree = self.memory.tree
+            node_index = (
+                self.memory.scheme.ctr_index(spec.block)
+                // (tree.arity ** (spec.level + 1))
+            )
+            first, last = tree.subtree_leaves(spec.level, node_index)
+            under_node = exc.ctr_index is not None and first <= exc.ctr_index < last
+            expected_level = spec.level + 1 if under_node else spec.level + 2
+        if exc.kind != expected_detector or (
+            expected_level is not None and exc.level != expected_level
+        ):
+            self.report.misattributions.append(
+                {
+                    "spec": spec.to_dict(),
+                    "expected_detector": expected_detector,
+                    "expected_level": expected_level,
+                    "actual_detector": exc.kind,
+                    "actual_level": exc.level,
+                }
+            )
+        self._armed.remove(armed)
+        armed.undo()
+        self.events.record(
+            "tamper_detected",
+            at=index,
+            tamper=spec.kind,
+            latency=detection.latency,
+            via=via,
+            detector=exc.kind,
+            level=exc.level,
+            block=exc.block,
+        )
+
+
+def run_attack(
+    ops: Sequence[Op],
+    schedule: Sequence[TamperSpec],
+    memory: Optional[FunctionalSecureMemory] = None,
+    events: Optional[EventRing] = None,
+    num_blocks: int = 1 << 12,
+) -> AttackReport:
+    """Convenience wrapper: build a memory, attack it, return the report."""
+    if memory is None:
+        memory = FunctionalSecureMemory(num_blocks=num_blocks)
+    return AttackHarness(memory, events=events).run(ops, schedule)

@@ -1,0 +1,129 @@
+"""CLI for the verification harness: ``python -m repro verify ...``.
+
+Subcommands:
+
+* ``fuzz`` — seeded fuzz campaign (attack + differential legs); prints a
+  byte-reproducible JSON summary and exits non-zero on any failure.
+* ``attack`` — one seeded tamper-injection run against the functional
+  memory; prints the attack report.
+* ``diff`` — array-vs-object path differential plus engine invariants
+  for one design on a seeded random trace.
+* ``replay`` — re-execute a minimised fuzz repro file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+from pathlib import Path
+
+from ..secure.counters import make_counter_scheme
+from ..secure.functional import FunctionalSecureMemory
+from ..sim.simulator import SimulationConfig
+from .attack import AttackError, AttackHarness
+from .differential import diff_paths, run_with_invariants
+from .fuzz import DESIGNS, SCHEMES, _random_accesses, replay, run_fuzz
+from .tamper import TAMPER_KINDS, generate_ops, generate_schedule
+
+
+def _print(payload: object) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    summary = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        out_dir=Path(args.out),
+        sim_accesses=args.sim_accesses,
+    )
+    _print(summary)
+    return 0 if summary["clean"] else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    rng = random.Random(f"cosmos-verify:attack:{args.seed}")
+    memory = FunctionalSecureMemory(
+        num_blocks=args.blocks, scheme=make_counter_scheme(args.scheme)
+    )
+    ops = generate_ops(rng, num_ops=args.ops, num_blocks=args.blocks)
+    schedule = generate_schedule(
+        rng, ops, memory, max_events=args.events, kinds=tuple(args.kinds)
+    )
+    harness = AttackHarness(memory)
+    try:
+        report = harness.run(ops, schedule)
+    except AttackError as exc:
+        print(f"ATTACK ERROR: {exc}")
+        return 1
+    _print(report.to_dict())
+    return 0 if report.clean else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    rng = random.Random(f"cosmos-verify:diff:{args.seed}")
+    accesses = _random_accesses(rng, args.accesses, footprint_blocks=512)
+    config = SimulationConfig()
+    paths_report = diff_paths(args.design, accesses, config)
+    invariants = run_with_invariants(args.design, accesses, config)
+    _print({"paths": paths_report.to_dict(), "invariants": invariants.to_dict()})
+    return 0 if paths_report.matched and invariants.matched else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    failures, report = replay(Path(args.file))
+    payload: dict = {"failures": failures}
+    if report is not None:
+        payload["report"] = report.to_dict()
+    _print(payload)
+    return 1 if failures else 0
+
+
+def add_verify_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``verify`` subcommand on the repro CLI."""
+    verify_parser = sub.add_parser(
+        "verify", help="adversarial tamper injection and differential checking"
+    )
+    verify_sub = verify_parser.add_subparsers(dest="verify_command", required=True)
+
+    fuzz = verify_sub.add_parser(
+        "fuzz", help="seeded fuzz campaign over traces x tampers x designs"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--budget", type=int, default=25, help="number of trials")
+    fuzz.add_argument(
+        "--out", default="verify-repros", help="directory for minimised repro files"
+    )
+    fuzz.add_argument(
+        "--sim-accesses", type=int, default=300,
+        help="simulator trace length for the differential leg",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    attack = verify_sub.add_parser(
+        "attack", help="one seeded tamper-injection run (functional memory)"
+    )
+    attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--ops", type=int, default=80)
+    attack.add_argument("--events", type=int, default=4)
+    attack.add_argument("--blocks", type=int, default=256)
+    attack.add_argument("--scheme", choices=SCHEMES, default="monolithic")
+    attack.add_argument(
+        "--kinds", nargs="+", choices=TAMPER_KINDS, default=list(TAMPER_KINDS)
+    )
+    attack.set_defaults(func=_cmd_attack)
+
+    diff = verify_sub.add_parser(
+        "diff", help="array-vs-object path differential + engine invariants"
+    )
+    diff.add_argument("--design", choices=DESIGNS, default="cosmos")
+    diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument("--accesses", type=int, default=2000)
+    diff.set_defaults(func=_cmd_diff)
+
+    replay_parser = verify_sub.add_parser(
+        "replay", help="re-execute a minimised fuzz repro file"
+    )
+    replay_parser.add_argument("file", help="path to a repro-*.json file")
+    replay_parser.set_defaults(func=_cmd_replay)

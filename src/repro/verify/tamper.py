@@ -1,0 +1,348 @@
+"""Parameterised tamper classes and deterministic injection schedules.
+
+A :class:`TamperSpec` describes one attack — what to corrupt, when, and
+with which parameters — against a :class:`~repro.secure.functional.
+FunctionalSecureMemory` run.  Specs are plain JSON-safe records so fuzzer
+repro cases can be written to disk and replayed bit-for-bit.
+
+Five classes cover the secure-memory threat model (paper Sec. 2.1):
+
+====================  =====================================================
+``bitflip``           Flip one ciphertext bit — caught by the per-line MAC.
+``rollback``          Restore a counter line to an earlier state (replay)
+                      — caught by the MT leaf digest (level 0).
+``stale_mac``         Replay an old (ciphertext, MAC) pair after the
+                      counter moved on — caught by the MAC's CTR binding.
+``splice``            Overwrite an internal MT node — caught one level up
+                      when the path is recomputed.
+``swap``              Relocate two blocks' (ciphertext, MAC) pairs — caught
+                      by the MAC's physical-address binding.
+====================  =====================================================
+
+Schedules are generated from a seeded :class:`random.Random` against a
+concrete trace of :class:`Op` records, so the same seed always yields the
+same attack run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..secure.aes import LINE_BYTES
+from ..secure.functional import FunctionalSecureMemory
+
+#: Every tamper class the harness knows how to inject.
+TAMPER_KINDS = ("bitflip", "rollback", "stale_mac", "splice", "swap")
+
+#: Which check must fire for each class (zero tolerance for misattribution:
+#: a rollback "caught" by the MAC means the tree is not doing its job).
+EXPECTED_DETECTOR = {
+    "bitflip": "mac",
+    "rollback": "mt",
+    "stale_mac": "mac",
+    "splice": "mt",
+    "swap": "mac",
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation of a functional-memory trace."""
+
+    block: int
+    is_write: bool
+    payload: bytes = b""
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"block": self.block, "is_write": self.is_write}
+        if self.is_write:
+            record["payload"] = self.payload.hex()
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Op":
+        return cls(
+            block=int(data["block"]),
+            is_write=bool(data["is_write"]),
+            payload=bytes.fromhex(str(data.get("payload", ""))),
+        )
+
+
+@dataclass(frozen=True)
+class TamperSpec:
+    """One scheduled injection.
+
+    Attributes:
+        kind: One of :data:`TAMPER_KINDS`.
+        inject_at: Op index at which the corruption lands (before that op
+            executes; ``len(ops)`` means after the final op).
+        block: Primary victim block — always a block the trace has written,
+            so it doubles as the end-of-run probe target.
+        snapshot_at: For ``rollback``/``stale_mac``: op index at which the
+            replayed pre-state is captured (before that op executes).
+        bit: For ``bitflip``: which of the 512 ciphertext bits to flip.
+        partner: For ``swap``: the other block of the exchanged pair.
+        level: For ``splice``: internal tree level of the overwritten node.
+    """
+
+    kind: str
+    inject_at: int
+    block: int
+    snapshot_at: int = -1
+    bit: int = -1
+    partner: int = -1
+    level: int = -1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "inject_at": self.inject_at,
+            "block": self.block,
+            "snapshot_at": self.snapshot_at,
+            "bit": self.bit,
+            "partner": self.partner,
+            "level": self.level,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TamperSpec":
+        return cls(
+            kind=str(data["kind"]),
+            inject_at=int(data["inject_at"]),
+            block=int(data["block"]),
+            snapshot_at=int(data.get("snapshot_at", -1)),
+            bit=int(data.get("bit", -1)),
+            partner=int(data.get("partner", -1)),
+            level=int(data.get("level", -1)),
+        )
+
+    def splice_digest(self) -> bytes:
+        """Deterministic garbage digest for a ``splice`` injection."""
+        tag = f"cosmos-splice:{self.inject_at}:{self.block}:{self.level}"
+        return hashlib.sha256(tag.encode()).digest()
+
+
+def affected_blocks(spec: TamperSpec, memory: FunctionalSecureMemory) -> Set[int]:
+    """Blocks whose reads (or heals) the armed tamper can touch.
+
+    Reading any *written* block in this set while the tamper is armed must
+    raise; a write to any block in it could silently repair the corruption
+    and therefore needs a probe first.
+    """
+    scheme = memory.scheme
+    bpc = scheme.blocks_per_ctr
+    if spec.kind in ("bitflip", "stale_mac"):
+        return {spec.block}
+    if spec.kind == "swap":
+        return {spec.block, spec.partner}
+    if spec.kind == "rollback":
+        line = scheme.ctr_index(spec.block)
+        return set(range(line * bpc, min((line + 1) * bpc, memory.num_blocks)))
+    if spec.kind == "splice":
+        # Tampering node N poisons every path through N's *parent*: leaves
+        # under N fail when N is recomputed from its honest children
+        # (level + 1), and leaves under N's siblings fail one level higher
+        # when the parent is recomputed from children that include the
+        # tampered N (level + 2).  Outside the parent's subtree every
+        # recomputation only touches honest stored digests.
+        line = scheme.ctr_index(spec.block)
+        tree = memory.tree
+        parent_level = spec.level + 1
+        if parent_level >= tree.levels:
+            first, last = 0, tree.num_leaves
+        else:
+            parent_index = line // (tree.arity ** (parent_level + 1))
+            first, last = tree.subtree_leaves(parent_level, parent_index)
+        return set(range(first * bpc, min(last * bpc, memory.num_blocks)))
+    raise ValueError(f"unknown tamper kind {spec.kind!r}")
+
+
+def generate_ops(
+    rng: random.Random,
+    num_ops: int,
+    num_blocks: int,
+    footprint_blocks: Optional[int] = None,
+    write_fraction: float = 0.5,
+) -> List[Op]:
+    """A seeded random trace whose reads only target written blocks."""
+    footprint = min(footprint_blocks or num_blocks, num_blocks)
+    written: List[int] = []
+    seen: Set[int] = set()
+    ops: List[Op] = []
+    for i in range(num_ops):
+        if not written or rng.random() < write_fraction:
+            block = rng.randrange(footprint)
+            payload = bytes(rng.getrandbits(8) for _ in range(16)) + i.to_bytes(4, "little")
+            ops.append(Op(block=block, is_write=True, payload=payload))
+            if block not in seen:
+                seen.add(block)
+                written.append(block)
+        else:
+            ops.append(Op(block=rng.choice(written), is_write=False))
+    return ops
+
+
+@dataclass
+class _TraceIndex:
+    """Precomputed views of a trace the generator samples from."""
+
+    writes_by_block: Dict[int, List[int]] = field(default_factory=dict)
+    writes_by_line: Dict[int, List[int]] = field(default_factory=dict)
+    read_indices: List[int] = field(default_factory=list)
+
+
+def _index_trace(ops: Sequence[Op], memory: FunctionalSecureMemory) -> _TraceIndex:
+    index = _TraceIndex()
+    for i, op in enumerate(ops):
+        if op.is_write:
+            index.writes_by_block.setdefault(op.block, []).append(i)
+            line = memory.scheme.ctr_index(op.block)
+            index.writes_by_line.setdefault(line, []).append(i)
+        else:
+            index.read_indices.append(i)
+    return index
+
+
+def generate_schedule(
+    rng: random.Random,
+    ops: Sequence[Op],
+    memory: FunctionalSecureMemory,
+    max_events: int = 4,
+    kinds: Sequence[str] = TAMPER_KINDS,
+    attempts_per_event: int = 40,
+) -> List[TamperSpec]:
+    """Draw a feasible, pairwise-disjoint tamper schedule for ``ops``.
+
+    Feasibility per class (so every injection is *detectable*, which the
+    harness then asserts it *is detected*):
+
+    * every victim is a written block (its MAC and leaf exist);
+    * injections land at read-op indices or at end-of-trace, never inside
+      a write that would immediately overwrite the corruption;
+    * ``stale_mac`` snapshots after one write to the victim and injects
+      after a second, so the replayed MAC is bound to a stale counter;
+    * ``rollback`` snapshots a line between two of its writes, so the
+      restored state provably differs at injection time;
+    * affected block regions are pairwise disjoint, so each detection is
+      attributable to exactly one injection.
+
+    ``memory`` supplies only *shape* (scheme geometry, tree levels); its
+    state is not consulted and it is safe to pass the instance that will
+    later be attacked.
+    """
+    index = _index_trace(ops, memory)
+    end = len(ops)
+    inject_points = index.read_indices + [end]
+    claimed: Set[int] = set()
+    schedule: List[TamperSpec] = []
+
+    def points_after(threshold: int) -> List[int]:
+        return [p for p in inject_points if p > threshold]
+
+    def claim(spec: TamperSpec) -> bool:
+        region = affected_blocks(spec, memory)
+        if region & claimed:
+            return False
+        claimed.update(region)
+        schedule.append(spec)
+        return True
+
+    written = sorted(index.writes_by_block)
+    for _ in range(max_events):
+        for _ in range(attempts_per_event):
+            kind = rng.choice(list(kinds))
+            spec = _draw_spec(rng, kind, index, written, memory, points_after)
+            if spec is not None and claim(spec):
+                break
+    return sorted(schedule, key=lambda s: (s.inject_at, s.block, s.kind))
+
+
+def _draw_spec(
+    rng: random.Random,
+    kind: str,
+    index: _TraceIndex,
+    written: Sequence[int],
+    memory: FunctionalSecureMemory,
+    points_after,
+) -> Optional[TamperSpec]:
+    if not written:
+        return None
+    if kind == "bitflip":
+        block = rng.choice(written)
+        points = points_after(index.writes_by_block[block][0])
+        if not points:
+            return None
+        return TamperSpec(
+            kind=kind,
+            inject_at=rng.choice(points),
+            block=block,
+            bit=rng.randrange(LINE_BYTES * 8),
+        )
+    if kind == "swap":
+        if len(written) < 2:
+            return None
+        block, partner = rng.sample(list(written), 2)
+        first = max(index.writes_by_block[block][0], index.writes_by_block[partner][0])
+        points = points_after(first)
+        if not points:
+            return None
+        return TamperSpec(
+            kind=kind, inject_at=rng.choice(points), block=block, partner=partner
+        )
+    if kind == "stale_mac":
+        candidates = [b for b in written if len(index.writes_by_block[b]) >= 2]
+        if not candidates:
+            return None
+        block = rng.choice(candidates)
+        first, second = index.writes_by_block[block][:2]
+        points = points_after(second)
+        if not points:
+            return None
+        return TamperSpec(
+            kind=kind,
+            inject_at=rng.choice(points),
+            block=block,
+            snapshot_at=first + 1,
+        )
+    if kind == "rollback":
+        lines = [l for l, w in index.writes_by_line.items() if len(w) >= 2]
+        if not lines:
+            return None
+        line = rng.choice(lines)
+        first, second = index.writes_by_line[line][:2]
+        points = points_after(second)
+        if not points:
+            return None
+        # Victim: a block of this line written before the snapshot, so it
+        # is readable (and probe-able) the whole armed window.
+        ops_written = [
+            b for b, w in index.writes_by_block.items()
+            if memory.scheme.ctr_index(b) == line and w[0] <= first
+        ]
+        return TamperSpec(
+            kind=kind,
+            inject_at=rng.choice(points),
+            block=rng.choice(ops_written),
+            snapshot_at=first + 1,
+        )
+    if kind == "splice":
+        # The root is held on-chip (unsplicable); need >= 2 internal levels.
+        if memory.tree.levels < 2:
+            return None
+        block = rng.choice(written)
+        points = points_after(index.writes_by_block[block][0])
+        if not points:
+            return None
+        # Bias toward low levels: high nodes cover huge block regions and
+        # starve the disjointness constraint.
+        level = min(
+            rng.randrange(memory.tree.levels - 1),
+            rng.randrange(memory.tree.levels - 1),
+        )
+        return TamperSpec(
+            kind=kind, inject_at=rng.choice(points), block=block, level=level
+        )
+    raise ValueError(f"unknown tamper kind {kind!r}")

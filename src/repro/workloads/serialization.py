@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -76,22 +77,36 @@ def load_trace(path: PathLike) -> Trace:
     are only materialised if a caller iterates ``trace.accesses``.
 
     Raises:
-        ValueError: If the archive misses arrays or has a newer format.
+        ValueError: If the archive misses arrays, has a newer format, or
+            is corrupt — including *truncated* files (a crash or full disk
+            mid-:func:`os.replace` cannot produce one, but a copied or
+            manually-edited cache can).  Every corruption mode surfaces as
+            ``ValueError`` so callers can treat the file as a cache miss.
     """
-    data = np.load(Path(path))
-    for key in ("addresses", "types", "cores"):
-        if key not in data:
-            raise ValueError(f"trace archive {path} is missing array {key!r}")
-    name = "trace"
-    metadata = {}
-    if "header" in data:
-        header = json.loads(bytes(data["header"]).decode())
-        if header.get("version", 0) > FORMAT_VERSION:
-            raise ValueError(
-                f"trace archive {path} has format {header['version']}, "
-                f"this library reads up to {FORMAT_VERSION}"
-            )
-        name = header.get("name", name)
-        metadata = header.get("metadata", {})
-    arrays = TraceArrays(data["addresses"], data["types"], data["cores"])
-    return Trace.from_arrays(name, arrays, metadata=metadata)
+    try:
+        data = np.load(Path(path))
+        for key in ("addresses", "types", "cores"):
+            if key not in data:
+                raise ValueError(f"trace archive {path} is missing array {key!r}")
+        name = "trace"
+        metadata = {}
+        if "header" in data:
+            header = json.loads(bytes(data["header"]).decode())
+            if header.get("version", 0) > FORMAT_VERSION:
+                raise ValueError(
+                    f"trace archive {path} has format {header['version']}, "
+                    f"this library reads up to {FORMAT_VERSION}"
+                )
+            name = header.get("name", name)
+            metadata = header.get("metadata", {})
+        # Member arrays decompress lazily on access: build the trace inside
+        # the try so a truncated member read is caught like any other
+        # corruption (zipfile raises BadZipFile/EOFError mid-extraction).
+        arrays = TraceArrays(data["addresses"], data["types"], data["cores"])
+        return Trace.from_arrays(name, arrays, metadata=metadata)
+    except ValueError:
+        raise
+    except (zipfile.BadZipFile, EOFError, KeyError, OSError) as exc:
+        raise ValueError(
+            f"trace archive {path} is corrupt or truncated: {exc}"
+        ) from exc

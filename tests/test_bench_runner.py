@@ -124,3 +124,15 @@ def test_save_trace_is_atomic_no_temp_leftovers(quick_env):
     leftovers = [p for p in runner.cache_dir().iterdir()
                  if ".tmp" in p.name]
     assert leftovers == []
+
+
+def test_get_trace_regenerates_truncated_cache_file(quick_env):
+    trace = runner.get_trace("dfs", num_cores=1)
+    (path,) = list(runner.cache_dir().glob("dfs-*.npz"))
+    path.write_bytes(path.read_bytes()[:200])  # torn mid-copy
+    runner._MEMORY_CACHE.clear()
+    again = runner.get_trace("dfs", num_cores=1)
+    assert [a for a in again.arrays().addresses] == [a for a in trace.arrays().addresses]
+    # The torn file was replaced by a loadable regeneration.
+    (path,) = list(runner.cache_dir().glob("dfs-*.npz"))
+    assert path.stat().st_size > 200

@@ -54,6 +54,44 @@ def test_trace_generation_independent_of_global_seed():
     assert [x.address for x in a] == [x.address for x in b]
 
 
+def _matrix_dump(matrix) -> str:
+    import json
+
+    return json.dumps(
+        {w: {d: r.to_dict() for d, r in row.items()} for w, row in matrix.items()},
+        sort_keys=True,
+    )
+
+
+def test_matrix_identical_across_jobs_and_cache_modes(tmp_path, monkeypatch):
+    """Same seed => byte-identical results: serial vs --jobs 4, cache on/off.
+
+    Five configurations of the same design matrix — serial and 4-way
+    parallel, with the result cache disabled, cold and warm — must all
+    serialise to the same JSON bytes.  (On a machine without enough cores
+    the pool may fall back to fewer workers; determinism must hold
+    regardless.)
+    """
+    from repro.bench import runner
+
+    monkeypatch.setenv("REPRO_TRACE_LEN", "2000")
+    monkeypatch.setenv("REPRO_GRAPH_SCALE", "0.04")
+    monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "cache")
+    designs = ["np", "cosmos"]
+    workloads = ["bfs", "dfs"]
+    dumps = []
+    for jobs, use_cache in ((1, False), (4, False), (1, True), (4, True), (1, True)):
+        runner._MEMORY_CACHE.clear()
+        runner._RESULT_CACHE.clear()
+        matrix = runner.run_design_matrix(
+            designs, workloads, jobs=jobs, use_cache=use_cache
+        )
+        dumps.append(_matrix_dump(matrix))
+    assert all(d == dumps[0] for d in dumps[1:])
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+
+
 def test_experiment_rows_reproducible(tmp_path, monkeypatch):
     from repro.bench import experiments, runner
 

@@ -49,6 +49,24 @@ class TestSerialization:
         with pytest.raises(ValueError):
             load_trace(path)
 
+    def test_truncated_archive_rejected_as_value_error(self, tmp_path):
+        # A partially-copied cache file must surface as ValueError (the
+        # cache-miss signal), whatever stage of the zip parse it dies in:
+        # empty file, torn magic, or a member cut mid-decompression.
+        trace = uniform_random_trace(n=2000, seed=5)
+        path = save_trace(trace, tmp_path / "t.npz")
+        data = path.read_bytes()
+        for keep in (0, 10, len(data) // 2, len(data) - 7):
+            path.write_bytes(data[:keep])
+            with pytest.raises(ValueError):
+                load_trace(path)
+
+    def test_garbage_archive_rejected_as_value_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00" * 100)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
     def test_compression_is_compact(self, tmp_path):
         trace = stream_trace(n=50_000)
         path = save_trace(trace, tmp_path / "big.npz")

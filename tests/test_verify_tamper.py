@@ -1,0 +1,264 @@
+"""Tamper-injection harness: every attack detected, nothing else fires.
+
+Each tamper class gets a deterministic minimal scenario asserting *which*
+check catches it, *where* (tree level), and *how fast* (detection latency
+in ops) — plus seeded end-to-end schedules across all three counter
+schemes asserting zero false negatives, zero false positives and zero
+misattributions.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.events import EventRing
+from repro.secure.counters import make_counter_scheme
+from repro.secure.functional import FunctionalSecureMemory, IntegrityViolation
+from repro.verify import (
+    AttackHarness,
+    Op,
+    TamperSpec,
+    generate_ops,
+    generate_schedule,
+)
+
+SCHEMES = ("monolithic", "split", "morphctr")
+
+
+def make_memory(scheme: str = "monolithic", num_blocks: int = 256, **kwargs):
+    return FunctionalSecureMemory(
+        num_blocks=num_blocks, scheme=make_counter_scheme(scheme), **kwargs
+    )
+
+
+def W(block: int, tag: int = 0) -> Op:
+    return Op(block=block, is_write=True, payload=f"payload-{block}-{tag}".encode())
+
+
+def R(block: int) -> Op:
+    return Op(block=block, is_write=False)
+
+
+def run_one(ops, schedule, scheme="monolithic", num_blocks=256):
+    memory = make_memory(scheme, num_blocks)
+    harness = AttackHarness(memory)
+    return harness.run(ops, schedule), harness
+
+
+# ----------------------------------------------------------------------
+# One deterministic scenario per tamper class
+# ----------------------------------------------------------------------
+def test_bitflip_detected_by_mac_on_next_read():
+    ops = [W(0), W(9), R(0)]
+    spec = TamperSpec(kind="bitflip", inject_at=2, block=0, bit=137)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.kind == "bitflip"
+    assert det.detector == "mac"
+    assert det.via == "read"
+    assert det.latency == 0  # injected inside the read that caught it
+
+
+def test_bitflip_detected_by_end_of_run_probe():
+    ops = [W(0), W(9)]
+    spec = TamperSpec(kind="bitflip", inject_at=2, block=0, bit=1)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.via == "probe"
+    assert det.detected_at == len(ops)
+
+
+def test_counter_rollback_detected_at_leaf_level():
+    # Blocks 0 and 1 share monolithic line 0; snapshot after the first
+    # write, roll back after the second — the restored line state no
+    # longer matches the leaf digest.
+    ops = [W(0), W(1), W(1, tag=1), R(0)]
+    spec = TamperSpec(kind="rollback", inject_at=3, block=0, snapshot_at=1)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.kind == "rollback"
+    assert det.detector == "mt"
+    assert det.level == 0
+    assert det.via == "read"
+
+
+def test_rollback_caught_by_verify_on_write_before_increment():
+    # No read ever touches the rolled-back line; the next write to it
+    # must authenticate the counter line *before* incrementing, or the
+    # replay would be silently healed.
+    ops = [W(0), W(1), W(1, tag=1), W(2)]
+    spec = TamperSpec(kind="rollback", inject_at=3, block=0, snapshot_at=1)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.via == "write"
+    assert det.detector == "mt"
+    assert det.level == 0
+
+
+def test_disabling_verify_on_write_is_flagged_as_false_negative():
+    # With verify-on-write off, the heal write lands on the rolled-back
+    # line and the replay becomes undetectable: the harness must report
+    # the false negative rather than crash or pass.
+    memory = make_memory(verify_writes=False)
+    ops = [W(0), W(1), W(1, tag=1), W(1, tag=2)]
+    spec = TamperSpec(kind="rollback", inject_at=3, block=0, snapshot_at=1)
+    report = AttackHarness(memory).run(ops, [spec])
+    assert not report.clean
+    assert report.false_negatives
+
+
+def test_stale_mac_forgery_detected_by_ctr_binding():
+    # Replay block 0's old (ciphertext, MAC) pair after a second write
+    # moved its counter on: the stale MAC is bound to the stale counter.
+    ops = [W(0), W(0, tag=1), R(0)]
+    spec = TamperSpec(kind="stale_mac", inject_at=2, block=0, snapshot_at=1)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.kind == "stale_mac"
+    assert det.detector == "mac"
+
+
+def test_mt_splice_detected_one_level_above_under_the_node():
+    # 256 blocks / monolithic -> 32 leaves, 5 internal levels.  Splice
+    # node (1, 0); a read under the node fails when the node is
+    # recomputed from its honest children: level 2.
+    ops = [W(0), W(40), R(0)]
+    spec = TamperSpec(kind="splice", inject_at=2, block=0, level=1)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.kind == "splice"
+    assert det.detector == "mt"
+    assert det.level == 2
+
+
+def test_mt_splice_detected_two_levels_above_beside_the_node():
+    # Node (1, 0) covers leaves 0-3 (blocks 0-31); block 40 (leaf 5) is
+    # under the *parent* (2, 0) but beside the spliced node, so its
+    # verification fails one level higher, when the parent is recomputed
+    # from children including the tampered digest.
+    ops = [W(0), W(40), R(40)]
+    spec = TamperSpec(kind="splice", inject_at=2, block=0, level=1)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.level == 3
+
+
+def test_cross_address_swap_detected_on_either_side():
+    for probe_block in (0, 9):
+        ops = [W(0), W(9), R(probe_block)]
+        spec = TamperSpec(kind="swap", inject_at=2, block=0, partner=9)
+        report, _ = run_one(ops, [spec])
+        assert report.clean, report.failures()
+        (det,) = report.detections
+        assert det.detector == "mac"
+        assert det.block == probe_block
+
+
+# ----------------------------------------------------------------------
+# Healing protection
+# ----------------------------------------------------------------------
+def test_probe_fires_before_a_write_can_heal_mac_tampering():
+    # The bitflip is armed when op 3 is about to overwrite the victim —
+    # the harness must probe-read first or the evidence is destroyed.
+    ops = [W(0), W(9), R(9), W(0, tag=1)]
+    spec = TamperSpec(kind="bitflip", inject_at=2, block=0, bit=5)
+    report, _ = run_one(ops, [spec])
+    assert report.clean, report.failures()
+    (det,) = report.detections
+    assert det.via == "probe_heal"
+    assert det.detected_at == 3
+
+
+def test_recovery_after_detection_preserves_contents():
+    # After every detection the harness undoes the injection and retries;
+    # subsequent reads must decrypt to exactly what was written.
+    ops = [W(0), W(9), R(0), R(0), W(0, tag=1), R(0)]
+    spec = TamperSpec(kind="bitflip", inject_at=2, block=0, bit=200)
+    memory = make_memory()
+    report = AttackHarness(memory).run(ops, [spec])
+    assert report.clean, report.failures()
+    assert memory.read(0).rstrip(b"\x00") == b"payload-0-1"
+
+
+# ----------------------------------------------------------------------
+# Zero false positives
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_control_run_is_completely_silent(scheme):
+    rng = random.Random(f"control:{scheme}")
+    ops = generate_ops(rng, 150, 256, footprint_blocks=64, write_fraction=0.5)
+    memory = make_memory(scheme)
+    report = AttackHarness(memory).run(ops, ())
+    assert report.clean
+    assert not report.detections
+    assert memory.stats.violations_detected == 0
+
+
+# ----------------------------------------------------------------------
+# Seeded end-to-end schedules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_every_generated_injection_is_detected(scheme, seed):
+    rng = random.Random(f"e2e:{seed}:{scheme}")
+    memory = make_memory(scheme)
+    ops = generate_ops(rng, 90, 256, footprint_blocks=64, write_fraction=0.6)
+    schedule = generate_schedule(rng, ops, memory, max_events=4)
+    assert schedule, "generator produced an empty schedule"
+    report = AttackHarness(memory).run(ops, schedule)
+    assert report.clean, report.failures()
+    assert len(report.detections) == len(schedule)
+    assert not report.misattributions
+
+
+def test_schedule_generation_is_deterministic():
+    def build():
+        rng = random.Random("sched:42")
+        memory = make_memory("monolithic")
+        ops = generate_ops(rng, 70, 256, footprint_blocks=48)
+        return generate_schedule(rng, ops, memory, max_events=4)
+
+    assert build() == build()
+
+
+# ----------------------------------------------------------------------
+# Obs event ring integration
+# ----------------------------------------------------------------------
+def test_event_ring_records_injection_latency_and_level():
+    ring = EventRing()
+    memory = make_memory()
+    ops = [W(0), W(40), R(0)]
+    spec = TamperSpec(kind="splice", inject_at=2, block=0, level=1)
+    report = AttackHarness(memory, events=ring).run(ops, [spec])
+    assert report.clean, report.failures()
+    (injected,) = ring.filter("tamper_injected")
+    assert injected["tamper"] == "splice"
+    assert injected["at"] == 2
+    (detected,) = ring.filter("tamper_detected")
+    assert detected["latency"] == 0
+    assert detected["level"] == 2
+    assert detected["detector"] == "mt"
+    # The memory's own violation events ride the same ring.
+    assert ring.filter("integrity_violation")
+
+
+# ----------------------------------------------------------------------
+# Memory-level verify-on-write semantics (independent of the harness)
+# ----------------------------------------------------------------------
+def test_write_authenticates_counter_line_before_increment():
+    memory = make_memory()
+    memory.write(0, b"first")
+    snapshot = memory.scheme.snapshot_line(0)
+    memory.write(1, b"second")
+    memory.scheme.restore_line(0, snapshot)
+    with pytest.raises(IntegrityViolation) as excinfo:
+        memory.write(0, b"heal attempt")
+    assert excinfo.value.kind == "mt"
+    assert excinfo.value.level == 0
