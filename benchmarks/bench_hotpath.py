@@ -17,7 +17,12 @@ import json
 import os
 from pathlib import Path
 
-from repro.bench.perf import DEFAULT_DESIGNS, run_benchmark, write_report
+from repro.bench.perf import (
+    DEFAULT_DESIGNS,
+    measure_dram,
+    run_benchmark,
+    write_report,
+)
 
 #: Allowed obs-disabled throughput regression vs. the committed baseline.
 PERF_BUDGET = 0.03
@@ -51,6 +56,35 @@ def test_hotpath_throughput(run_once):
                 f"{name}: {entry['accesses_per_sec']:,.0f} acc/s is more than "
                 f"{PERF_BUDGET:.0%} below the committed baseline "
                 f"({reference:,.0f} acc/s)"
+            )
+
+
+def test_dram_microbench(run_once):
+    """Bare ``DramModel.request`` throughput — the innermost hot-path call.
+
+    Sanity-checks the bank-state model's behaviour on the seeded mixed
+    stream (row hits from the sequential runs, honest per-class averages)
+    and, under ``REPRO_PERF_GATE=1``, holds its throughput to the same
+    ≤3% budget against the committed baseline's ``dram_microbench`` entry.
+    """
+    entry = run_once(measure_dram)
+    assert entry["requests"] > 0
+    assert entry["requests_per_sec"] > 0
+    # Sequential runs inside rows must produce some row-buffer hits, and
+    # writes (tCWL < tCL) must average cheaper service than reads unless
+    # queueing dominates — both are direction checks, not tight bounds.
+    assert 0.0 < entry["row_hit_rate"] < 1.0
+    assert entry["avg_read_latency"] > 0
+    assert entry["avg_write_latency"] > 0
+    if os.environ.get("REPRO_PERF_GATE") and BASELINE_PATH.is_file():
+        baseline = json.loads(BASELINE_PATH.read_text()).get("dram_microbench", {})
+        reference = baseline.get("requests_per_sec")
+        if reference:
+            floor = reference * (1.0 - PERF_BUDGET)
+            assert entry["requests_per_sec"] >= floor, (
+                f"dram: {entry['requests_per_sec']:,.0f} req/s is more than "
+                f"{PERF_BUDGET:.0%} below the committed baseline "
+                f"({reference:,.0f} req/s)"
             )
 
 

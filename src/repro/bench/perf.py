@@ -29,11 +29,13 @@ import io
 import json
 import platform
 import pstats
+import random
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .. import obs
+from ..mem.dram import DramModel
 from ..sim.config import SimulationConfig
 from ..sim.simulator import Simulator, build_design
 from ..workloads.micro import zipf_trace
@@ -55,6 +57,10 @@ TRACE_WRITE_FRACTION = 0.3
 
 #: Default report location: the repository root (two levels above src/).
 DEFAULT_OUTPUT = "BENCH_hotpath.json"
+
+#: Requests in the DRAM-only microbenchmark (the bank-state model is the
+#: innermost hot-path call, so it gets its own tracked number).
+DRAM_BENCH_N = 200_000
 
 
 def hotpath_trace(
@@ -109,6 +115,54 @@ def measure_design(
     }
 
 
+def measure_dram(
+    n: int = DRAM_BENCH_N,
+    seed: int = TRACE_SEED,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time bare ``DramModel.request`` over a seeded mixed stream.
+
+    Every protected-memory access fans out into several DRAM requests
+    (data, CTR, MT nodes, MAC), so :meth:`DramModel.request` is the
+    innermost hot-path call; tracking it in isolation separates "the bank
+    state machine got slower" from "a design got slower".  The stream
+    mixes short sequential runs (row hits) with random jumps (row misses)
+    and the standard write fraction, advancing ``now`` in program order
+    like the designs do.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rng = random.Random(seed)
+    blocks: List[int] = []
+    writes: List[bool] = []
+    block = 0
+    while len(blocks) < n:
+        block = rng.randrange(1 << 24)
+        for offset in range(rng.randrange(1, 8)):
+            blocks.append(block + offset)
+            writes.append(rng.random() < TRACE_WRITE_FRACTION)
+    del blocks[n:], writes[n:]
+    best = float("inf")
+    model = DramModel()
+    for _ in range(repeats):
+        model = DramModel()
+        request = model.request
+        now = 0
+        started = time.perf_counter()
+        for address, is_write in zip(blocks, writes):
+            now += 1 + request(address, is_write, now)
+        best = min(best, time.perf_counter() - started)
+    stats = model.stats
+    return {
+        "requests": n,
+        "best_seconds": best,
+        "requests_per_sec": n / best if best > 0 else 0.0,
+        "row_hit_rate": stats.row_hit_rate,
+        "avg_read_latency": model.average_read_latency(),
+        "avg_write_latency": model.average_write_latency(),
+    }
+
+
 def run_benchmark(
     designs: Sequence[str] = DEFAULT_DESIGNS,
     n: int = TRACE_N,
@@ -133,6 +187,7 @@ def run_benchmark(
         },
         "repeats": repeats,
         "results": results,
+        "dram_microbench": measure_dram(seed=seed, repeats=repeats),
     }
 
 
@@ -149,6 +204,14 @@ def format_report(payload: Dict[str, object]) -> str:
             f"{name:>10}: {entry['accesses_per_sec']:>12,.0f} accesses/sec"
             f"  (best of {len(entry['runs_seconds'])}:"
             f" {entry['best_seconds']:.3f}s for {entry['accesses']:,} accesses)"
+        )
+    dram = payload.get("dram_microbench")
+    if dram:
+        lines.append(
+            f"{'dram':>10}: {dram['requests_per_sec']:>12,.0f} requests/sec"
+            f"  (row hit {dram['row_hit_rate']:.2f},"
+            f" read {dram['avg_read_latency']:.1f}cyc,"
+            f" write {dram['avg_write_latency']:.1f}cyc)"
         )
     return "\n".join(lines)
 
@@ -239,7 +302,24 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         help="measure observability overhead for DESIGN (default cosmos): "
              "throughput with REPRO_OBS off vs on",
     )
+    parser.add_argument(
+        "--dram-only", action="store_true",
+        help="run only the DRAM bank-state microbenchmark and print it",
+    )
+    parser.add_argument(
+        "--dram-n", type=int, default=DRAM_BENCH_N,
+        help="requests in the DRAM microbenchmark (default: %(default)s)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.dram_only:
+        entry = measure_dram(n=args.dram_n, seed=args.seed, repeats=args.repeats)
+        print(
+            f"dram: {entry['requests_per_sec']:,.0f} requests/sec"
+            f" (row hit {entry['row_hit_rate']:.2f},"
+            f" read {entry['avg_read_latency']:.1f}cyc,"
+            f" write {entry['avg_write_latency']:.1f}cyc)"
+        )
+        return 0
     if args.profile is not None:
         print(profile_design(args.profile, n=args.n, seed=args.seed, top=args.top))
         return 0

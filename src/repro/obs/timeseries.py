@@ -42,6 +42,8 @@ RATE_SIGNALS: Sequence[Tuple[str, Tuple[str, ...], Tuple[str, ...]]] = (
     ("ctr_hit_rate", ("ctr_hits",), ("ctr_hits", "ctr_misses")),
     ("mt_verify_depth", ("mt_nodes_fetched",), ("mt_traversals",)),
     ("dram_row_hit_rate", ("dram_row_hits",), ("dram_requests",)),
+    ("dram_queue_wait_per_request", ("dram_queue_cycles",), ("dram_requests",)),
+    ("dram_write_share", ("dram_writes",), ("dram_requests",)),
     ("llc_miss_rate", ("llc_misses",), ("accesses",)),
     ("latency_per_access", ("total_latency",), ("accesses",)),
     ("rl_location_accuracy", ("loc_correct",), ("loc_graded",)),

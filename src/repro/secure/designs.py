@@ -95,6 +95,14 @@ class SecureDesign:
         )
         self.stats = DesignStats()
         self._l1_latency = self.hierarchy_config.l1.latency
+        # Program-order issue clock: every access reads the cursor, issues
+        # its DRAM requests at that cycle, and advances it by its own
+        # latency.  Background requests (writebacks, MT walks, MAC lines)
+        # issued mid-access therefore overlap across banks at the same
+        # ``now`` and can keep banks/bus busy *past* it — the next access
+        # queues behind them, which is the bank-level contention model.
+        # Monotonic across reset_stats() (warmup keeps the clock running).
+        self._now = 0
 
     def _on_writeback(self, block_address: int) -> None:
         raise NotImplementedError
@@ -114,6 +122,14 @@ class SecureDesign:
     def traffic(self) -> TrafficStats:
         """DRAM traffic breakdown accumulated so far."""
         raise NotImplementedError
+
+    def dram_model(self) -> Optional[DramModel]:
+        """The DRAM channel this design drives (None when it has none).
+
+        The simulator reads measured channel occupancy from here for the
+        bandwidth-serialisation term of the IPC proxy.
+        """
+        return None
 
     def ctr_miss_rate(self) -> float:
         """CTR-cache miss rate (0.0 for unprotected designs)."""
@@ -172,11 +188,11 @@ class NonProtectedDesign(SecureDesign):
 
     def _on_writeback(self, block_address: int) -> None:
         self._traffic.data_writes += 1
-        self.dram.request(block_address, is_write=True)
+        self.dram.request(block_address, is_write=True, now=self._now)
 
     def _on_prefetch_fill(self, block_address: int) -> None:
         self._traffic.data_reads += 1
-        self.dram.request(block_address)
+        self.dram.request(block_address, now=self._now)
 
     def reset_stats(self) -> None:
         super().reset_stats()
@@ -188,22 +204,31 @@ class NonProtectedDesign(SecureDesign):
         dram = self.dram.stats
         counters["dram_requests"] = dram.requests
         counters["dram_row_hits"] = dram.row_hits
+        counters["dram_writes"] = dram.writes
+        counters["dram_queue_cycles"] = dram.queue_cycles
         return counters
 
     def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
         stats = self.stats
         stats.accesses += 1
+        now = self._now
         result = self.hierarchy.access_block(block_address, is_write, core)
         if result.l1_miss:
             stats.l1_misses += 1
         if not result.needs_memory:
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.llc_misses += 1
         self._traffic.data_reads += 1
-        return result.lookup_latency + self.dram.request(block_address)
+        latency = result.lookup_latency + self.dram.request(block_address, now=now)
+        self._now = now + 1 + latency
+        return latency
 
     def traffic(self) -> TrafficStats:
         return self._traffic
+
+    def dram_model(self) -> Optional[DramModel]:
+        return self.dram
 
 
 class ProtectedDesign(SecureDesign):
@@ -231,13 +256,13 @@ class ProtectedDesign(SecureDesign):
         return None
 
     def _on_writeback(self, block_address: int) -> None:
-        self.engine.secure_write(block_address)
+        self.engine.secure_write(block_address, now=self._now)
 
     def _on_prefetch_fill(self, block_address: int) -> None:
         # A prefetched line still needs its counter for decryption: the
         # fetch and the CTR path are charged as background traffic.
-        self.engine.read_data(block_address)
-        self._ctr_access(block_address)
+        self.engine.read_data(block_address, now=self._now)
+        self._ctr_access(block_address, self._now)
 
     def reset_stats(self) -> None:
         super().reset_stats()
@@ -253,6 +278,9 @@ class ProtectedDesign(SecureDesign):
 
     def traffic(self) -> TrafficStats:
         return self.engine.traffic
+
+    def dram_model(self) -> Optional[DramModel]:
+        return self.engine.dram
 
     def ctr_miss_rate(self) -> float:
         return self.engine.ctr_miss_rate
@@ -270,6 +298,8 @@ class ProtectedDesign(SecureDesign):
             mt_nodes_fetched=mt.nodes_fetched,
             dram_requests=dram.requests,
             dram_row_hits=dram.row_hits,
+            dram_writes=dram.writes,
+            dram_queue_cycles=dram.queue_cycles,
             ctr_overflows=engine.events.ctr_overflows,
             writes_seen=engine.events.writes_seen,
             reencryption_requests=engine.traffic.reencryption_requests,
@@ -279,16 +309,16 @@ class ProtectedDesign(SecureDesign):
     # ------------------------------------------------------------------
     # Shared latency formulas
     # ------------------------------------------------------------------
-    def _memory_latency_sequential(self, block: int, lookup_latency: int) -> int:
+    def _memory_latency_sequential(self, block: int, lookup_latency: int, now: int) -> int:
         """Baseline path: CTR access starts only after the LLC miss."""
-        _, ctr_latency = self._ctr_access(block)
-        data_latency = self.engine.read_data(block)
+        _, ctr_latency = self._ctr_access(block, now)
+        data_latency = self.engine.read_data(block, now=now)
         otp_ready = self.engine.decrypt_ready_latency(ctr_latency)
         return lookup_latency + max(data_latency, otp_ready) + self.engine.config.auth_latency
 
-    def _ctr_access(self, block: int):
+    def _ctr_access(self, block: int, now: int = 0):
         """CTR-cache access; subclasses add RL locality tags."""
-        return self.engine.ctr_access(block)
+        return self.engine.ctr_access(block, now=now)
 
 
 class MorphCtrDesign(ProtectedDesign):
@@ -299,13 +329,19 @@ class MorphCtrDesign(ProtectedDesign):
     def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
         stats = self.stats
         stats.accesses += 1
+        now = self._now
         result = self.hierarchy.access_block(block_address, is_write, core)
         if result.l1_miss:
             stats.l1_misses += 1
         if not result.needs_memory:
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.llc_misses += 1
-        return self._memory_latency_sequential(block_address, result.lookup_latency)
+        latency = self._memory_latency_sequential(
+            block_address, result.lookup_latency, now
+        )
+        self._now = now + 1 + latency
+        return latency
 
 
 class EarlyCtrDesign(ProtectedDesign):
@@ -321,19 +357,24 @@ class EarlyCtrDesign(ProtectedDesign):
     def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
         stats = self.stats
         stats.accesses += 1
+        now = self._now
         result = self.hierarchy.access_block(block_address, is_write, core)
         if not result.l1_miss:
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.l1_misses += 1
-        _, ctr_latency = self._ctr_access(block_address)
+        _, ctr_latency = self._ctr_access(block_address, now)
         if not result.needs_memory:
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.llc_misses += 1
         engine = self.engine
-        data_latency = engine.read_data(block_address)
+        data_latency = engine.read_data(block_address, now=now)
         data_ready = result.lookup_latency + data_latency
         otp_ready = self._l1_latency + engine.decrypt_ready_latency(ctr_latency)
-        return max(data_ready, otp_ready) + engine.config.auth_latency
+        latency = max(data_ready, otp_ready) + engine.config.auth_latency
+        self._now = now + 1 + latency
+        return latency
 
 
 class EmccDesign(EarlyCtrDesign):
@@ -391,19 +432,28 @@ class RmccDesign(ProtectedDesign):
     def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
         stats = self.stats
         stats.accesses += 1
+        now = self._now
         result = self.hierarchy.access_block(block_address, is_write, core)
         if result.l1_miss:
             stats.l1_misses += 1
         if not result.needs_memory:
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.llc_misses += 1
         block = block_address
         if self._memo_probe(block):
             # Memoised counter: the OTP can be produced immediately.
-            data_latency = self.engine.read_data(block)
+            data_latency = self.engine.read_data(block, now=now)
             otp_ready = self.engine.decrypt_ready_latency(self.engine.config.ctr_lookup_latency)
-            return result.lookup_latency + max(data_latency, otp_ready) + self.engine.config.auth_latency
-        return self._memory_latency_sequential(block, result.lookup_latency)
+            latency = (
+                result.lookup_latency
+                + max(data_latency, otp_ready)
+                + self.engine.config.auth_latency
+            )
+        else:
+            latency = self._memory_latency_sequential(block, result.lookup_latency, now)
+        self._now = now + 1 + latency
+        return latency
 
 
 class CosmosDesign(ProtectedDesign):
@@ -477,19 +527,23 @@ class CosmosDesign(ProtectedDesign):
         probes.update(self.controller.obs_probes())
         return probes
 
-    def _ctr_access(self, block: int):
+    def _ctr_access(self, block: int, now: int = 0):
         flag = score = None
         locality = self._locality
         if locality is not None:
             action, score = locality.predict(self.engine.scheme.ctr_index(block))
             flag = FLAG_GOOD if action == GOOD_LOCALITY else 0
-        return self.engine.ctr_access(block, locality_flag=flag, locality_score=score)
+        return self.engine.ctr_access(
+            block, locality_flag=flag, locality_score=score, now=now
+        )
 
     def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
         stats = self.stats
         stats.accesses += 1
+        now = self._now
         result = self.hierarchy.access_block(block_address, is_write, core)
         if not result.l1_miss:
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.l1_misses += 1
         block = block_address
@@ -503,33 +557,39 @@ class CosmosDesign(ProtectedDesign):
             predicted_off = False
         engine = self.engine
         if predicted_off:
-            _, ctr_latency = self._ctr_access(block)
+            _, ctr_latency = self._ctr_access(block, now)
             if result.needs_memory:
                 # Correct off-chip prediction: bypass L2/LLC on the data path.
                 stats.llc_misses += 1
                 stats.bypasses += 1
                 l1_latency = self._l1_latency
-                data_latency = engine.read_data(block)
+                data_latency = engine.read_data(block, now=now)
                 data_ready = l1_latency + data_latency
                 otp_ready = l1_latency + engine.decrypt_ready_latency(ctr_latency)
-                return max(data_ready, otp_ready) + engine.config.auth_latency
+                latency = max(data_ready, otp_ready) + engine.config.auth_latency
+                self._now = now + 1 + latency
+                return latency
             # Wrong off-chip prediction: kill the speculative DRAM fetch;
             # the CTR access already happened (and usefully warms the
             # cache, Sec. 6.1.2).
             stats.killed_fetches += 1
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         if result.needs_memory:
             # Wrong (or absent) on-chip prediction: sequential fallback.
             stats.llc_misses += 1
             stats.fallback_fetches += 1
-            _, ctr_latency = self._ctr_access(block)
-            data_latency = engine.read_data(block)
+            _, ctr_latency = self._ctr_access(block, now)
+            data_latency = engine.read_data(block, now=now)
             otp_ready = engine.decrypt_ready_latency(ctr_latency)
-            return (
+            latency = (
                 result.lookup_latency
                 + max(data_latency, otp_ready)
                 + engine.config.auth_latency
             )
+            self._now = now + 1 + latency
+            return latency
+        self._now = now + 1 + result.lookup_latency
         return result.lookup_latency
 
 
@@ -555,8 +615,10 @@ class CosmosEarlyDesign(CosmosDesign):
     def process_fast(self, block_address: int, is_write: bool, core: int) -> int:
         stats = self.stats
         stats.accesses += 1
+        now = self._now
         result = self.hierarchy.access_block(block_address, is_write, core)
         if not result.l1_miss:
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.l1_misses += 1
         block = block_address
@@ -568,14 +630,15 @@ class CosmosEarlyDesign(CosmosDesign):
             predicted_off = False
         l1_latency = self._l1_latency
         # Universal early probe: every L1 miss touches the CTR cache.
-        _, ctr_latency = self._ctr_access(block)
+        _, ctr_latency = self._ctr_access(block, now)
         if not result.needs_memory:
             if predicted_off:
                 stats.killed_fetches += 1
+            self._now = now + 1 + result.lookup_latency
             return result.lookup_latency
         stats.llc_misses += 1
         engine = self.engine
-        data_latency = engine.read_data(block)
+        data_latency = engine.read_data(block, now=now)
         otp_ready = l1_latency + engine.decrypt_ready_latency(ctr_latency)
         if predicted_off:
             stats.bypasses += 1
@@ -583,7 +646,9 @@ class CosmosEarlyDesign(CosmosDesign):
         else:
             stats.fallback_fetches += 1
             data_ready = result.lookup_latency + data_latency
-        return max(data_ready, otp_ready) + engine.config.auth_latency
+        latency = max(data_ready, otp_ready) + engine.config.auth_latency
+        self._now = now + 1 + latency
+        return latency
 
 
 _DESIGN_FACTORIES = {

@@ -105,6 +105,11 @@ class SecureMemoryEngine:
         self.ctr_cache.cache.writeback_sink = self._ctr_writeback
         self.integrity = IntegrityTreeModel(layout, cache_size_bytes=self.config.mt_cache_bytes)
         self._mac_pending = 0
+        # Issue-time cursor for the current operation: the public entry
+        # points stash their ``now`` here so internally-triggered requests
+        # (CTR writebacks from cache fills, MT walks, MAC lines) are issued
+        # at the same cycle and contend for banks/bus accordingly.
+        self._now = 0
         # Optional hook set by COSMOS designs: maps a counter-line index to
         # a (locality_flag, locality_score) tag for write-path CTR accesses.
         self.ctr_classifier = None
@@ -124,7 +129,7 @@ class SecureMemoryEngine:
     # ------------------------------------------------------------------
     def _ctr_writeback(self, ctr_block_address: int) -> None:
         self.traffic.ctr_writes += 1
-        self.dram.request(ctr_block_address, is_write=True)
+        self.dram.request(ctr_block_address, is_write=True, now=self._now)
 
     def _charge_mac(self, data_block: int) -> None:
         """One MAC line access per 8 protected data accesses (paper Sec. 5).
@@ -138,7 +143,7 @@ class SecureMemoryEngine:
         if self._mac_pending >= 8:
             self._mac_pending = 0
             self.traffic.mac_accesses += 1
-            self.dram.request(self.layout.mac_block_address(data_block))
+            self.dram.request(self.layout.mac_block_address(data_block), now=self._now)
 
     # ------------------------------------------------------------------
     # Counter path
@@ -149,15 +154,18 @@ class SecureMemoryEngine:
         is_write: bool = False,
         locality_flag: Optional[int] = None,
         locality_score: Optional[int] = None,
+        now: int = 0,
     ) -> Tuple[bool, int]:
-        """Access the counter line covering ``data_block``.
+        """Access the counter line covering ``data_block`` at cycle ``now``.
 
         Returns:
             ``(hit, latency)`` where latency covers the CTR-cache lookup
-            plus, on a miss, the counter-line DRAM fetch.  The integrity
-            walk's DRAM reads are charged as traffic only — its latency
-            overlaps OTP generation (paper Sec. 5).
+            plus, on a miss, the counter-line DRAM fetch (including any
+            bank/bus queueing at ``now``).  The integrity walk's DRAM
+            reads are charged as traffic and channel occupancy only — its
+            latency overlaps OTP generation (paper Sec. 5).
         """
+        self._now = now
         config = self.config
         latency = config.ctr_lookup_latency + config.ctr_combine_latency
         ctr_index = self.scheme.ctr_index(data_block)
@@ -166,7 +174,7 @@ class SecureMemoryEngine:
         )
         if not hit:
             ctr_address = self.layout.ctr_block_address(ctr_index)
-            latency += self.dram.request(ctr_address)
+            latency += self.dram.request(ctr_address, now=now)
             self.traffic.ctr_reads += 1
             self._authenticate(ctr_index)
         if self.prefetcher is not None:
@@ -177,8 +185,9 @@ class SecureMemoryEngine:
         """MT walk for a counter line fetched from DRAM (traffic only)."""
         fetched, addresses = self.integrity.traverse(ctr_index)
         self.traffic.mt_reads += fetched
+        now = self._now
         for node_address in addresses:
-            self.dram.request(node_address)
+            self.dram.request(node_address, now=now)
         if self.on_authenticate is not None:
             self.on_authenticate(ctr_index, fetched)
 
@@ -197,34 +206,39 @@ class SecureMemoryEngine:
                 continue
             self.ctr_cache.cache.stats.prefetch_issued += 1
             self.ctr_cache.cache.fill(address, prefetched=True)
-            self.dram.request(address)
+            self.dram.request(address, now=self._now)
             self.traffic.ctr_reads += 1
             self._authenticate(candidate)
 
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
-    def read_data(self, data_block: int) -> int:
-        """Fetch a 64B data block from DRAM; returns the DRAM latency."""
+    def read_data(self, data_block: int, now: int = 0) -> int:
+        """Fetch a 64B data block from DRAM at ``now``; returns its latency."""
+        self._now = now
         self.events.reads_seen += 1
-        latency = self.dram.request(data_block)
+        latency = self.dram.request(data_block, now=now)
         self.traffic.data_reads += 1
         self._charge_mac(data_block)
         return latency
 
-    def secure_write(self, data_block: int) -> None:
+    def secure_write(self, data_block: int, now: int = 0) -> None:
         """Write a dirty block back to protected DRAM (background).
 
         Increments the block's counter (re-encrypting the covered page on
         minor overflow), touches the CTR cache, updates the MAC and issues
         the data write.  All of this happens off the critical path — the
-        memory controller queues it — so only traffic is recorded.
+        memory controller queues it — so no latency is returned, but every
+        request is issued at ``now`` and occupies real bank/bus time that
+        later demand reads queue behind.
         """
+        self._now = now
         self.events.writes_seen += 1
         event = self.scheme.increment(data_block)
         if event is not None:
             self.events.ctr_overflows += 1
             self.traffic.reencryption_requests += event.dram_requests
+            self.dram.add_background_occupancy(event.dram_requests)
             if self.obs_events is not None:
                 self.obs_events.record(
                     "ctr_overflow",
@@ -235,9 +249,11 @@ class SecureMemoryEngine:
         flag = score = None
         if self.ctr_classifier is not None:
             flag, score = self.ctr_classifier(self.scheme.ctr_index(data_block))
-        self.ctr_access(data_block, is_write=True, locality_flag=flag, locality_score=score)
+        self.ctr_access(
+            data_block, is_write=True, locality_flag=flag, locality_score=score, now=now
+        )
         self.traffic.data_writes += 1
-        self.dram.request(data_block, is_write=True)
+        self.dram.request(data_block, is_write=True, now=now)
         self._charge_mac(data_block)
 
     # ------------------------------------------------------------------
@@ -260,6 +276,15 @@ class SecureMemoryEngine:
                        fn=lambda: self.integrity.stats.average_fetches)
         registry.gauge(f"{prefix}.dram_row_hit_rate",
                        fn=lambda: self.dram.stats.row_hit_rate)
+        registry.gauge(f"{prefix}.dram_avg_read_latency",
+                       fn=lambda: self.dram.average_read_latency())
+        registry.gauge(f"{prefix}.dram_avg_write_latency",
+                       fn=lambda: self.dram.average_write_latency())
+        registry.gauge(f"{prefix}.dram_queue_share",
+                       fn=lambda: (
+                           self.dram.stats.queue_cycles / self.dram.stats.busy_cycles
+                           if self.dram.stats.busy_cycles else 0.0
+                       ))
         registry.gauge(f"{prefix}.reencryption_rate",
                        fn=lambda: self.events.reencryption_rate)
 

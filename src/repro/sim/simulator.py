@@ -265,16 +265,31 @@ class Simulator:
         """IPC-proxy cycle count.
 
         Three components: instruction issue, memory stalls (overlapped by
-        the MLP factor), and DRAM channel serialisation proportional to the
-        total request count — secure-memory metadata traffic (CTR, MT, MAC,
-        re-encryption) competes with data for the same channel.
+        the MLP factor), and DRAM channel serialisation — secure-memory
+        metadata traffic (CTR, MT, MAC, re-encryption) competes with data
+        for the same channel.
+
+        The serialisation term is *measured*: the DRAM model tracks
+        data-bus occupancy per channel (one ``burst`` per request,
+        including background re-encryption), and the busiest channel's
+        occupancy — scaled by ``dram_bandwidth_cycles_per_request`` per
+        burst — is what serialises.  With one channel this equals the
+        request count times the knob; with more channels, spreading
+        traffic across them genuinely relieves the bottleneck.  Designs
+        without a DRAM model fall back to the flat per-request charge.
         """
         cpu = self.config.cpu
         issue_cycles = self.accesses * (1 + cpu.nonmem_instructions_per_access)
         stall_cycles = self.total_latency / cpu.mlp_factor
-        bandwidth_cycles = (
-            self.design.traffic().total * cpu.dram_bandwidth_cycles_per_request
-        )
+        dram = self.design.dram_model()
+        if dram is None:
+            bandwidth_cycles = (
+                self.design.traffic().total * cpu.dram_bandwidth_cycles_per_request
+            )
+        else:
+            bandwidth_cycles = dram.stats.max_channel_busy * (
+                cpu.dram_bandwidth_cycles_per_request / dram.timings.burst
+            )
         return issue_cycles + stall_cycles + bandwidth_cycles
 
     def instructions(self) -> int:

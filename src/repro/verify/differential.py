@@ -20,8 +20,11 @@ rather than a bare mismatch flag:
   obey on *any* run: every counter-line DRAM fetch is authenticated
   exactly once, re-encryption traffic is exactly two background requests
   per covered block per overflow, MAC-in-ECC designs issue zero MAC
-  accesses, and the hierarchy funnel never widens
-  (``l1_misses >= llc_misses``).
+  accesses, the hierarchy funnel never widens
+  (``l1_misses >= llc_misses``), and the DRAM bank-state model's
+  per-class / per-channel accounting balances against the traffic
+  ledger (reads = data+ctr+mt+mac, writes = data+ctr, background
+  occupancy = re-encryption requests).
 """
 
 from __future__ import annotations
@@ -247,10 +250,52 @@ def check_invariants(design: SecureDesign) -> List[str]:
         problems.append(
             f"bypasses ({stats.bypasses}) > l1_misses ({stats.l1_misses})"
         )
+    dram = design.dram_model()
+    if dram is not None:
+        dstats = dram.stats
+        if dstats.row_hits + dstats.row_misses != dstats.requests:
+            problems.append(
+                f"dram row_hits ({dstats.row_hits}) + row_misses "
+                f"({dstats.row_misses}) != requests ({dstats.requests})"
+            )
+        if sum(dstats.per_channel.values()) != dstats.requests:
+            problems.append(
+                f"dram per-channel requests ({sum(dstats.per_channel.values())}) "
+                f"!= requests ({dstats.requests})"
+            )
+        expected_busy = (dstats.requests + dstats.background_requests) * dram.timings.burst
+        if sum(dstats.per_channel_busy.values()) != expected_busy:
+            problems.append(
+                "dram bus occupancy: per-channel busy "
+                f"({sum(dstats.per_channel_busy.values())}) != "
+                f"(requests + background) x burst ({expected_busy})"
+            )
     engine = getattr(design, "engine", None)
     if engine is None:
         return problems
     traffic = engine.traffic
+    if dram is not None:
+        dstats = dram.stats
+        expected_reads = (
+            traffic.data_reads + traffic.ctr_reads
+            + traffic.mt_reads + traffic.mac_accesses
+        )
+        if dstats.reads != expected_reads:
+            problems.append(
+                "every traffic read must hit DRAM exactly once: dram reads "
+                f"({dstats.reads}) != data+ctr+mt+mac reads ({expected_reads})"
+            )
+        expected_writes = traffic.data_writes + traffic.ctr_writes
+        if dstats.writes != expected_writes:
+            problems.append(
+                f"dram writes ({dstats.writes}) != data_writes + ctr_writes "
+                f"({expected_writes})"
+            )
+        if dstats.background_requests != traffic.reencryption_requests:
+            problems.append(
+                f"dram background requests ({dstats.background_requests}) != "
+                f"reencryption_requests ({traffic.reencryption_requests})"
+            )
     integrity = engine.integrity.stats
     for name in (
         "data_reads", "data_writes", "ctr_reads", "ctr_writes",

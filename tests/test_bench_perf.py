@@ -16,6 +16,7 @@ from repro.bench.perf import (
     SCHEMA,
     format_report,
     main,
+    measure_dram,
     run_benchmark,
     write_report,
 )
@@ -54,6 +55,23 @@ def test_run_benchmark_payload_schema():
         assert entry["accesses_per_sec"] > 0
         assert len(entry["runs_seconds"]) == 1
     assert "accesses/sec" in format_report(payload)
+
+
+def test_dram_microbench_entry():
+    entry = measure_dram(n=5000, repeats=1)
+    assert entry["requests"] == 5000
+    assert entry["requests_per_sec"] > 0
+    assert 0.0 < entry["row_hit_rate"] < 1.0
+    assert entry["avg_read_latency"] > 0
+    assert entry["avg_write_latency"] > 0
+    payload = run_benchmark(designs=("np",), n=2000, repeats=1)
+    assert set(payload["dram_microbench"]) == set(entry)
+    assert "requests/sec" in format_report(payload)
+
+
+def test_dram_only_cli(capsys):
+    assert main(["--dram-only", "--dram-n", "3000", "--repeats", "1"]) == 0
+    assert "requests/sec" in capsys.readouterr().out
 
 
 def test_cli_writes_valid_report(tmp_path, capsys):

@@ -1,27 +1,44 @@
-"""Unit tests for the DDR4 timing model."""
+"""Unit tests for the DDR4 bank-state timing model."""
+
+import random
+
+import pytest
 
 from repro.mem.dram import DramModel, DramTimings
 
 
+# ----------------------------------------------------------------------
+# Timing parameters
+# ----------------------------------------------------------------------
 def test_row_hit_cheaper_than_miss():
     timings = DramTimings()
     assert timings.row_hit_latency < timings.row_miss_latency
 
 
+def test_write_column_latency_cheaper_than_read():
+    timings = DramTimings()
+    assert timings.write_hit_latency < timings.row_hit_latency
+    assert timings.write_miss_latency < timings.row_miss_latency
+
+
+# ----------------------------------------------------------------------
+# Row-buffer state machine
+# ----------------------------------------------------------------------
 def test_first_access_is_row_miss():
     dram = DramModel()
     latency = dram.request(0)
-    assert latency == dram.timings.row_miss_latency + dram.timings.queue_penalty
+    assert latency == dram.timings.row_miss_latency
     assert dram.stats.row_misses == 1
 
 
 def test_same_row_hits():
     dram = DramModel()
-    dram.request(0)
-    # Same bank, same row: the very next block in that bank.
-    latency = dram.request(dram.num_banks)  # block 16 -> bank 0, same row
+    first = dram.request(0, now=0)
+    # Same channel, bank and row: a nearby column, issued after the bank
+    # finished the first request.
+    latency = dram.request(16, now=first + 1)
     assert dram.stats.row_hits == 1
-    assert latency == dram.timings.row_hit_latency + dram.timings.queue_penalty
+    assert latency == dram.timings.row_hit_latency
 
 
 def test_row_conflict_misses():
@@ -43,28 +60,127 @@ def test_reads_writes_counted():
 
 def test_streaming_has_high_row_hit_rate():
     dram = DramModel()
+    now = 0
     for block in range(512):
-        dram.request(block)
+        now += 1 + dram.request(block, now=now)
     assert dram.stats.row_hit_rate > 0.8
 
 
 def test_random_has_low_row_hit_rate():
-    import random
-
     rng = random.Random(0)
     dram = DramModel()
+    now = 0
     for _ in range(512):
-        dram.request(rng.randrange(1 << 24))
+        now += 1 + dram.request(rng.randrange(1 << 24), now=now)
     assert dram.stats.row_hit_rate < 0.2
+
+
+# ----------------------------------------------------------------------
+# Bank-level parallelism and write timing
+# ----------------------------------------------------------------------
+def test_independent_banks_overlap():
+    bank_stride = DramModel().row_size_bytes // 64
+    overlap = DramModel()
+    overlap.request(0, now=0)
+    # Different bank, issued at the same cycle: only the data bursts
+    # serialise, so the second request costs one extra burst, not a
+    # second full activate.
+    overlapped = overlap.request(bank_stride, now=0)
+    conflict = DramModel()
+    conflict.request(0, now=0)
+    # Same bank, different row: queues behind the whole first request.
+    conflicted = conflict.request(bank_stride * conflict.num_banks, now=0)
+    assert overlapped == overlap.timings.row_miss_latency + overlap.timings.burst
+    assert conflicted == 2 * conflict.timings.row_miss_latency
+    assert overlapped < conflicted
+
+
+def test_write_uses_write_timing():
+    dram = DramModel()
+    latency = dram.request(0, is_write=True)
+    # First write flips the channel direction (bus turnaround) and then
+    # pays the write-class activate + column latency, not the read one.
+    assert latency == dram.timings.write_miss_latency + dram.timings.turnaround
+    assert dram.stats.turnarounds == 1
+    assert dram.stats.write_cycles == latency
+    assert dram.stats.read_cycles == 0
+
+
+def test_write_recovery_delays_same_bank_access():
+    dram = DramModel()
+    wlat = dram.request(0, is_write=True, now=0)
+    # A read to the same bank right after the write's data burst must
+    # wait out tWR (plus the direction turnaround) before its column read.
+    rlat = dram.request(1, now=wlat + 1)
+    assert rlat > dram.timings.row_hit_latency
+    assert dram.stats.turnarounds == 2
+
+
+def test_average_latency_split_by_class():
+    dram = DramModel()
+    rlat = dram.request(0, now=0)
+    wlat = dram.request(1, is_write=True, now=1000)
+    assert dram.average_read_latency() == float(rlat)
+    assert dram.average_write_latency() == float(wlat)
+    assert dram.average_latency() == (rlat + wlat) / 2
 
 
 def test_average_latency_when_idle_defaults_to_worst():
     dram = DramModel()
-    assert dram.average_latency() == float(
-        dram.timings.row_miss_latency + dram.timings.queue_penalty
-    )
+    assert dram.average_latency() == float(dram.timings.row_miss_latency)
+    assert dram.average_read_latency() == float(dram.timings.row_miss_latency)
+    assert dram.average_write_latency() == float(dram.timings.write_miss_latency)
 
 
+# ----------------------------------------------------------------------
+# Utilisation-derived queueing
+# ----------------------------------------------------------------------
+def test_queue_penalty_tracks_utilisation():
+    idle = DramModel()
+    idle.request(0, now=0)
+    baseline = idle.request(1, now=200)
+    assert baseline == idle.timings.row_hit_latency  # idle window: no penalty
+
+    loaded = DramModel()
+    row_blocks = loaded.row_size_bytes // 64
+    for bank in range(loaded.num_banks):  # open row 0 in every bank
+        loaded.request(bank * row_blocks, now=0)
+    # Stream one burst every `burst` cycles round-robin across the open
+    # rows: the data bus runs at ~full utilisation through the window,
+    # while each individual bank stays comfortably ahead.
+    for k in range(128):
+        bank = k % loaded.num_banks
+        column = 1 + k // loaded.num_banks
+        loaded.request(bank * row_blocks + column, now=300 + 8 * k)
+    # Probe after the stream drained: no bank or bus wait remains, so any
+    # latency above a bare row hit is the utilisation-derived penalty.
+    busy = loaded.request(2, now=1400)
+    assert baseline < busy <= baseline + loaded.timings.queue_penalty
+    assert loaded.stats.queue_cycles > 0
+
+
+# ----------------------------------------------------------------------
+# Refresh
+# ----------------------------------------------------------------------
+def test_refresh_stalls_after_interval():
+    dram = DramModel()
+    dram.request(0, now=0)
+    latency = dram.request(1, now=dram.timings.refresh_interval)
+    assert dram.stats.refresh_stalls == 1
+    assert latency == dram.timings.row_hit_latency + dram.timings.refresh_cycles
+
+
+def test_refresh_disabled():
+    dram = DramModel(timings=DramTimings(refresh_interval=0))
+    dram.request(0, now=0)
+    latency = dram.request(1, now=100_000)
+    assert dram.stats.refresh_stalls == 0
+    assert latency == dram.timings.row_hit_latency
+
+
+# ----------------------------------------------------------------------
+# Address decode / geometry
+# ----------------------------------------------------------------------
 def test_multi_channel_interleaves_rows():
     dram = DramModel(num_channels=2)
     row_blocks = dram.row_size_bytes // 64
@@ -80,26 +196,107 @@ def test_single_channel_uses_channel_zero():
     assert set(dram.stats.per_channel) == {0}
 
 
-def test_invalid_channels():
-    import pytest
-
-    with pytest.raises(ValueError):
-        DramModel(num_channels=0)
-
-
 def test_channels_have_private_row_buffers():
     dram = DramModel(num_channels=2)
     row_blocks = dram.row_size_bytes // 64
-    dram.request(0)              # opens a row on channel 0
-    dram.request(row_blocks)     # opens a row on channel 1
-    latency = dram.request(1)    # back to channel 0: its row is still open
-    assert latency == dram.timings.row_hit_latency + dram.timings.queue_penalty
+    first = dram.request(0, now=0)        # opens a row on channel 0
+    dram.request(row_blocks, now=0)       # opens a row on channel 1
+    latency = dram.request(1, now=first + 1)  # channel 0's row still open
+    assert latency == dram.timings.row_hit_latency
 
 
+def test_decode_encode_round_trip():
+    rng = random.Random(1)
+    for channels, banks, row_bytes in ((1, 16, 2048), (2, 4, 512), (4, 8, 1024), (1, 1, 64)):
+        dram = DramModel(num_channels=channels, num_banks=banks, row_size_bytes=row_bytes)
+        for _ in range(200):
+            block = rng.randrange(1 << 30)
+            channel, bank, row, column = dram.decode(block)
+            assert 0 <= channel < channels
+            assert 0 <= bank < banks
+            assert 0 <= column < row_bytes // 64
+            assert dram.encode(channel, bank, row, column) == block
+
+
+def test_decode_fields_target_distinct_geometry():
+    dram = DramModel(num_channels=2, num_banks=4, row_size_bytes=512)
+    address = dram.encode(channel=1, bank=2, row=5, column=3)
+    assert dram.decode(address) == (1, 2, 5, 3)
+    dram.request(address)
+    assert dram.stats.per_channel == {1: 1}
+    # Flipping exactly one decode field moves exactly that coordinate.
+    assert dram.decode(dram.encode(0, 2, 5, 3))[0] == 0
+    assert dram.decode(dram.encode(1, 3, 5, 3))[1] == 3
+    assert dram.decode(dram.encode(1, 2, 6, 3))[2] == 6
+    assert dram.decode(dram.encode(1, 2, 5, 4))[3] == 4
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_channels": 0},
+        {"num_channels": 3},
+        {"num_banks": 0},
+        {"num_banks": 12},
+        {"row_size_bytes": 1000},
+        {"row_size_bytes": 32},
+    ],
+)
+def test_invalid_geometry_rejected(kwargs):
+    with pytest.raises(ValueError):
+        DramModel(**kwargs)
+
+
+def test_minimal_geometry_accepted():
+    dram = DramModel(num_channels=1, num_banks=1, row_size_bytes=64)
+    latency = dram.request(5)
+    assert latency == dram.timings.row_miss_latency
+    assert dram.decode(5) == (0, 0, 5, 0)
+
+
+# ----------------------------------------------------------------------
+# Background occupancy and stats snapshots
+# ----------------------------------------------------------------------
+def test_background_occupancy_spreads_channels():
+    dram = DramModel(num_channels=2)
+    dram.add_background_occupancy(3)
+    assert dram.stats.background_requests == 3
+    busy = dram.stats.per_channel_busy
+    assert sum(busy.values()) == 3 * dram.timings.burst
+    assert set(busy) == {0, 1}
+    assert dram.stats.requests == 0  # occupancy only, no demand request
+
+
+def test_as_dict_includes_channel_balance():
+    dram = DramModel(num_channels=2)
+    dram.request(0)
+    dram.request(dram.row_size_bytes // 64)
+    snapshot = dram.stats.as_dict()
+    assert snapshot["per_channel"] == {"0": 1, "1": 1}
+    assert snapshot["per_channel_busy"] == {
+        "0": dram.timings.burst, "1": dram.timings.burst
+    }
+    assert snapshot["read_cycles"] == dram.stats.read_cycles
+    assert snapshot["turnarounds"] == dram.stats.turnarounds
+
+
+# ----------------------------------------------------------------------
+# Reset semantics
+# ----------------------------------------------------------------------
 def test_reset_clears_state():
     dram = DramModel()
     dram.request(0)
     dram.reset()
     assert dram.stats.requests == 0
     latency = dram.request(0)
-    assert latency == dram.timings.row_miss_latency + dram.timings.queue_penalty
+    assert latency == dram.timings.row_miss_latency  # row buffer cleared
+
+
+def test_reset_stats_keeps_open_rows():
+    dram = DramModel()
+    first = dram.request(0, now=0)
+    dram.reset_stats()
+    assert dram.stats.requests == 0
+    latency = dram.request(1, now=first + 1)
+    assert latency == dram.timings.row_hit_latency  # warm row survived
+    assert dram.stats.row_hits == 1
