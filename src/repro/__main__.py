@@ -8,6 +8,8 @@ Commands:
 * ``simulate -w WORKLOAD -d DESIGN [...]`` — one ad-hoc simulation.
 * ``obs summarize|dump|plot`` — inspect observability artifacts collected
   by runs with ``REPRO_OBS=1`` (or the ``--obs`` flag).
+* ``serve`` / ``submit`` — run the experiment service over the result
+  cache, and submit design×workload×seed matrices to it (``docs/serving.md``).
 * ``list`` — show available experiments, designs and workloads.
 """
 
@@ -60,13 +62,22 @@ DESIGNS = [
 
 
 def _apply_execution_flags(args: argparse.Namespace) -> None:
-    """Propagate --jobs/--no-cache/--obs into process-wide options."""
-    from .exec import set_options
+    """Propagate --jobs/--no-cache/--serve/--obs into process-wide options."""
+    import os
+
+    from .exec import auto_jobs, set_options
 
     if getattr(args, "jobs", None) is not None:
-        set_options(jobs=args.jobs)
+        set_options(jobs=args.jobs, jobs_source="flag")
+    elif "REPRO_JOBS" not in os.environ:
+        # No flag, no env: the CLI defaults to every available core
+        # (capped; see auto_jobs).  Library callers keep the serial
+        # default — only the command line opts into auto-parallelism.
+        set_options(jobs=auto_jobs(), jobs_source="auto")
     if getattr(args, "no_cache", False):
         set_options(use_cache=False)
+    if getattr(args, "serve", None):
+        set_options(serve=args.serve)
     if getattr(args, "obs", False):
         from . import obs
 
@@ -148,6 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs", action="store_true",
         help="enable observability (spans, time-series, events; like REPRO_OBS=1)",
     )
+    reproduce.add_argument(
+        "--serve", metavar="HOST[:PORT]", default=None,
+        help="run simulation cells through a repro serve instance "
+             "instead of a local worker pool (like REPRO_SERVE)",
+    )
     reproduce.set_defaults(func=_cmd_reproduce)
 
     simulate = sub.add_parser("simulate", help="run one design on one workload")
@@ -165,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--obs", action="store_true",
         help="enable observability (spans, time-series, events; like REPRO_OBS=1)",
+    )
+    simulate.add_argument(
+        "--serve", metavar="HOST[:PORT]", default=None,
+        help="run simulation cells through a repro serve instance "
+             "instead of a local worker pool (like REPRO_SERVE)",
     )
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -184,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .verify.cli import add_verify_parser
 
     add_verify_parser(sub)
+
+    from .serve.cli import add_serve_parser
+
+    add_serve_parser(sub)
     return parser
 
 

@@ -10,15 +10,17 @@ picture.
 """
 
 from .cache import CACHE_VERSION, ResultCache, write_json_atomic
-from .jobs import JobSpec, canonical_config_dict, make_spec
+from .jobs import JobSpec, canonical_config_dict, config_from_dict, make_spec
 from .options import (
     ExecutionOptions,
+    auto_jobs,
     get_options,
     options_from_env,
     reset_options,
     set_options,
 )
 from .runner import ExecutionError, ParallelRunner
+from .scheduler import InflightJob, InflightTable, dedupe_specs
 from .telemetry import (
     MANIFEST_VERSION,
     JobRecord,
@@ -32,6 +34,8 @@ __all__ = [
     "CACHE_VERSION",
     "ExecutionError",
     "ExecutionOptions",
+    "InflightJob",
+    "InflightTable",
     "JobRecord",
     "JobSpec",
     "MANIFEST_VERSION",
@@ -39,8 +43,11 @@ __all__ = [
     "ProgressTicker",
     "ResultCache",
     "RunReport",
+    "auto_jobs",
     "load_manifest",
     "canonical_config_dict",
+    "config_from_dict",
+    "dedupe_specs",
     "get_options",
     "make_spec",
     "options_from_env",

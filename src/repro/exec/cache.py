@@ -1,9 +1,11 @@
 """Content-addressed, on-disk cache of simulation results.
 
 Entries are JSON files named by the job's content hash.  The cache is
-safe for concurrent writers (atomic temp-file + ``os.replace`` writes),
-tolerates corrupt or truncated entries (they read as misses and are
-deleted best-effort), and carries a ``cache_version`` field so incompatible
+safe for concurrent writers (atomic temp-file + ``os.replace`` writes;
+racing writers of the same key keep the first winner instead of
+clobbering it), tolerates corrupt or truncated entries (they read as
+misses and are deleted best-effort), sweeps tempfiles torn off by
+crashed writers, and carries a ``cache_version`` field so incompatible
 layout changes invalidate old entries instead of mis-reading them.
 """
 
@@ -12,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -21,6 +24,11 @@ from .jobs import JobSpec
 #: Bump whenever the entry layout (or the meaning of cached metrics)
 #: changes; old entries then miss cleanly.
 CACHE_VERSION = 1
+
+#: A ``*.tmp`` file untouched for this long was torn off by a crashed
+#: writer — a live ``write_json_atomic`` holds its tempfile for
+#: milliseconds, so an hour is conservatively past any plausible write.
+TMP_SWEEP_AGE_S = 3600.0
 
 
 def write_json_atomic(path: Path, payload: object) -> None:
@@ -93,13 +101,25 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, spec: JobSpec, result: SimulationResult, job_hash: Optional[str] = None) -> None:
+    def put(self, spec: JobSpec, result: SimulationResult, job_hash: Optional[str] = None) -> bool:
         """Persist ``result`` for ``spec``; failures are non-fatal.
 
-        Caching is best-effort: a read-only or full disk degrades to
+        Returns ``True`` when this call wrote the entry.  When several
+        processes race on one key — two servers, or a server and a batch
+        run, finishing the same deterministic job — the first writer wins
+        and later writers leave the entry alone: readers holding the
+        winner's file open are never swapped to a different inode, and a
+        half-corrupt loser can never replace a good entry.  Caching is
+        best-effort throughout: a read-only or full disk degrades to
         recomputation, never to an error.
         """
         job_hash = job_hash if job_hash is not None else spec.content_hash()
+        path = self.path_for(job_hash)
+        try:
+            if path.exists():
+                return False  # concurrent winner already on disk
+        except OSError:
+            pass
         entry = {
             "cache_version": CACHE_VERSION,
             "job_hash": job_hash,
@@ -107,9 +127,33 @@ class ResultCache:
             "result": result.to_dict(),
         }
         try:
-            write_json_atomic(self.path_for(job_hash), entry)
+            write_json_atomic(path, entry)
         except OSError:
-            pass
+            return False
+        return True
+
+    def sweep_tmp(self, max_age_s: float = TMP_SWEEP_AGE_S) -> int:
+        """Remove tempfiles abandoned by crashed writers; returns the count.
+
+        :func:`write_json_atomic` cleans its tempfile on every failure it
+        can observe, but a killed process (OOM, SIGKILL, power loss) leaves
+        the ``*.tmp`` behind.  Entries younger than ``max_age_s`` are kept
+        — they may belong to a write in progress.
+        """
+        removed = 0
+        cutoff = time.time() - max_age_s
+        try:
+            candidates = list(self.directory.glob("*.tmp"))
+        except OSError:
+            return 0
+        for path in candidates:
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # another sweeper won the race, or perms
+        return removed
 
     @property
     def lookups(self) -> int:

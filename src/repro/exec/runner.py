@@ -35,6 +35,7 @@ from ..obs.artifacts import write_chrome_trace
 from ..sim.results import SimulationResult
 from .cache import ResultCache
 from .jobs import JobSpec
+from .scheduler import dedupe_specs
 from .telemetry import JobRecord, ProgressTicker, RunReport
 from .worker import run_job
 
@@ -84,6 +85,7 @@ class ParallelRunner:
         manifest_dir: Optional[Path] = None,
         ticker: Optional[bool] = None,
         strict: bool = True,
+        jobs_source: str = "explicit",
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
@@ -93,6 +95,7 @@ class ParallelRunner:
         self.manifest_dir = manifest_dir
         self.ticker_enabled = ticker
         self.strict = strict
+        self.jobs_source = jobs_source
         self.report = RunReport()
 
     # ------------------------------------------------------------------
@@ -101,16 +104,15 @@ class ParallelRunner:
     def run(self, specs: List[JobSpec]) -> Dict[str, SimulationResult]:
         """Execute ``specs``; returns ``{content_hash: result}``."""
         started = time.monotonic()
-        ordered: List[Tuple[str, JobSpec]] = []
-        seen = set()
-        for spec in specs:
-            job_hash = spec.content_hash()
-            if job_hash not in seen:
-                seen.add(job_hash)
-                ordered.append((job_hash, spec))
+        # In-matrix dedupe: identical cells execute once; every requester
+        # reads the one result out of the returned mapping by hash.
+        ordered = dedupe_specs(specs)
 
-        report = RunReport(jobs_requested=self.jobs)
+        report = RunReport(jobs_requested=self.jobs, jobs_source=self.jobs_source,
+                           duplicates=len(specs) - len(ordered))
         self.report = report
+        if self.cache is not None:
+            self.cache.sweep_tmp()
         results: Dict[str, SimulationResult] = {}
         ticker = ProgressTicker(len(ordered), enabled=self.ticker_enabled)
         recorder = obs.SpanRecorder("exec.run") if obs.enabled() else None

@@ -1,0 +1,123 @@
+"""Shared scheduling primitives for batch runs and the serve layer.
+
+Both front-ends that execute :class:`~repro.exec.jobs.JobSpec` jobs — the
+batch :class:`~repro.exec.runner.ParallelRunner` and the long-running
+:class:`~repro.serve.server.ExperimentServer` — need the same two pieces
+of bookkeeping:
+
+* **submission dedupe** (:func:`dedupe_specs`): identical specs inside one
+  submission collapse to a single job whose result fans out to every
+  requester;
+* **in-flight dedupe** (:class:`InflightTable`): a spec that is *already
+  executing* (submitted by another client, or an earlier overlapping
+  batch) is joined as a follower instead of being executed again — N
+  submitters of the same cell pay for exactly one simulation.
+
+The table is deliberately transport-agnostic: it records who leads and
+who follows and hands results (or failures) to every waiter, but does not
+know about sockets, pools or event loops.  The runner drives it
+synchronously; the server drives it from its event loop and layers its
+own per-connection fan-out on top.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .jobs import JobSpec
+
+
+def dedupe_specs(specs: Iterable[JobSpec]) -> List[Tuple[str, JobSpec]]:
+    """Collapse duplicate specs (same content hash), preserving order.
+
+    Returns the ordered unique ``(content_hash, spec)`` pairs.  The number
+    of collapsed duplicates is ``len(specs) - len(returned)``.
+    """
+    ordered: List[Tuple[str, JobSpec]] = []
+    seen = set()
+    for spec in specs:
+        job_hash = spec.content_hash()
+        if job_hash not in seen:
+            seen.add(job_hash)
+            ordered.append((job_hash, spec))
+    return ordered
+
+
+class InflightJob:
+    """One executing job: its spec, outcome slot and completion signal."""
+
+    __slots__ = ("job_hash", "spec", "followers", "result", "error", "_done")
+
+    def __init__(self, job_hash: str, spec: JobSpec) -> None:
+        self.job_hash = job_hash
+        self.spec = spec
+        #: Requesters (beyond the leader) joined while the job was running.
+        self.followers = 0
+        self.result: Optional[object] = None
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the leader resolves the job; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+
+class InflightTable:
+    """Thread-safe registry of currently-executing job hashes.
+
+    Usage contract: :meth:`claim` returns ``(True, job)`` to exactly one
+    caller per hash — the **leader**, who must eventually call
+    :meth:`resolve` or :meth:`fail` — and ``(False, job)`` to everyone
+    else (**followers**), who wait on the returned entry.  Resolution
+    removes the entry, so a later claim of the same hash starts a fresh
+    execution (by then the result cache answers it anyway).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, InflightJob] = {}
+        #: Lifetime counters for telemetry.
+        self.led = 0
+        self.joined = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def get(self, job_hash: str) -> Optional[InflightJob]:
+        """The in-flight entry for ``job_hash``, if any."""
+        return self._jobs.get(job_hash)
+
+    def claim(self, job_hash: str, spec: JobSpec) -> Tuple[bool, InflightJob]:
+        """Claim ``job_hash`` for execution, or join the executing entry."""
+        with self._lock:
+            job = self._jobs.get(job_hash)
+            if job is not None:
+                job.followers += 1
+                self.joined += 1
+                return False, job
+            job = InflightJob(job_hash, spec)
+            self._jobs[job_hash] = job
+            self.led += 1
+            return True, job
+
+    def _finish(self, job_hash: str, result, error) -> InflightJob:
+        with self._lock:
+            job = self._jobs.pop(job_hash, None)
+        if job is None:
+            raise KeyError(f"job {job_hash!r} is not in flight")
+        job.result, job.error = result, error
+        job._done.set()
+        return job
+
+    def resolve(self, job_hash: str, result) -> InflightJob:
+        """Leader hands the finished result to every waiter."""
+        return self._finish(job_hash, result, None)
+
+    def fail(self, job_hash: str, error: BaseException) -> InflightJob:
+        """Leader reports a terminal failure to every waiter."""
+        return self._finish(job_hash, None, error)

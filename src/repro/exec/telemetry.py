@@ -80,7 +80,13 @@ class RunReport:
 
     jobs_requested: int = 1
     workers: int = 1
-    mode: str = "serial"  # "serial" | "pool"
+    mode: str = "serial"  # "serial" | "pool" | "pool+serial" | "serve"
+    #: Where the worker count came from ("default", "env", "flag", "auto",
+    #: "explicit") — makes a manifest's parallelism explainable later.
+    jobs_source: str = "explicit"
+    #: Submitted cells that collapsed onto another cell's content hash and
+    #: fanned out that job's result instead of executing again.
+    duplicates: int = 0
     records: List[JobRecord] = field(default_factory=list)
     wall_time: float = 0.0
     manifest_path: Optional[Path] = None
@@ -131,8 +137,10 @@ class RunReport:
             "jobs_requested": self.jobs_requested,
             "workers": self.workers,
             "mode": self.mode,
+            "jobs_source": self.jobs_source,
             "totals": {
                 "jobs": self.total,
+                "duplicates": self.duplicates,
                 "completed": self.completed,
                 "failed": self.failed,
                 "cache_hits": self.cache_hits,
@@ -165,6 +173,8 @@ class RunReport:
             jobs_requested=int(data.get("jobs_requested", 1)),
             workers=int(data.get("workers", 1)),
             mode=str(data.get("mode", "serial")),
+            jobs_source=str(data.get("jobs_source", "explicit")),
+            duplicates=int(totals.get("duplicates", 0)),
             records=[JobRecord.from_dict(j) for j in data.get("jobs", [])],
             wall_time=float(totals.get("wall_time_s", 0.0)),
             spans=data.get("spans"),  # absent (None) in v1 manifests
@@ -194,6 +204,8 @@ class RunReport:
             f"{self.cache_hits} cache hits ({100 * self.cache_hit_rate:.0f}%)",
             f"{self.workers} worker{'s' if self.workers != 1 else ''} ({self.mode})",
         ]
+        if self.duplicates:
+            parts.insert(1, f"{self.duplicates} deduped")
         if self.failed:
             parts.append(f"{self.failed} FAILED")
         if self.manifest_path is not None:

@@ -108,6 +108,28 @@ class Histogram:
             return 0.0
         return self.sum / self.total
 
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Reports the upper bound of the bucket containing the quantile —
+        a conservative (never understating) estimate, which is the useful
+        direction for latency SLO reporting.  Values in the overflow bin
+        report the largest finite bound.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.total == 0 or not self.bounds:
+            return 0.0
+        target = q * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                break
+        return self.bounds[-1]
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "type": "histogram",
@@ -154,6 +176,9 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {"type": "histogram", "bounds": [], "counts": [0], "total": 0,

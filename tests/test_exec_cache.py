@@ -108,3 +108,50 @@ def test_put_failure_is_nonfatal(tmp_path):
     cache = ResultCache(blocker)
     cache.put(make_job(), make_result())  # must not raise
     assert cache.get(make_job().content_hash()) is None
+
+
+def test_racing_writers_keep_the_first_winner(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    spec = make_job()
+    first, second = make_result(cycles=111.0), make_result(cycles=222.0)
+    assert cache.put(spec, first) is True
+    # A second writer (another server process, or a batch run finishing the
+    # same deterministic job) must leave the winner's entry alone.
+    assert cache.put(spec, second) is False
+    loaded = cache.get(spec.content_hash())
+    assert loaded is not None and loaded.cycles == 111.0
+
+
+def test_loser_never_replaces_after_winner_is_corrupted_away(tmp_path):
+    cache = ResultCache(tmp_path / "results")
+    spec = make_job()
+    cache.put(spec, make_result(cycles=111.0))
+    path = cache.path_for(spec.content_hash())
+    path.unlink()  # e.g. a corrupt read deleted the entry
+    assert cache.put(spec, make_result(cycles=222.0)) is True  # slot is free again
+    loaded = cache.get(spec.content_hash())
+    assert loaded is not None and loaded.cycles == 222.0
+
+
+def test_sweep_tmp_removes_stale_and_keeps_fresh(tmp_path):
+    import os
+
+    cache = ResultCache(tmp_path / "results")
+    cache.put(make_job(), make_result())  # materialise the directory
+    stale = cache.directory / "deadbeef.1234.tmp"
+    stale.write_text("{torn")
+    old = 4000.0
+    os.utime(stale, (stale.stat().st_atime - old, stale.stat().st_mtime - old))
+    fresh = cache.directory / "cafef00d.5678.tmp"
+    fresh.write_text("{in-progress")
+    assert cache.sweep_tmp(max_age_s=3600.0) == 1
+    assert not stale.exists()
+    assert fresh.exists()  # may belong to a live writer
+    # Real entries are untouched and the sweep is idempotent.
+    assert cache.get(make_job().content_hash()) is not None
+    assert cache.sweep_tmp(max_age_s=3600.0) == 0
+
+
+def test_sweep_tmp_on_missing_directory_is_a_noop(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    assert cache.sweep_tmp() == 0

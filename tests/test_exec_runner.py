@@ -80,6 +80,22 @@ def test_duplicate_specs_collapse_to_one_job():
     assert calls == ["np"]
     assert len(out) == 1
     assert runner.report.total == 1
+    assert runner.report.duplicates == 2
+    assert "2 deduped" in runner.report.summary_line()
+
+
+def test_jobs_source_and_duplicates_land_in_the_manifest(tmp_path):
+    import json
+
+    runner = ParallelRunner(jobs=1, fn=_echo_job, ticker=False,
+                            jobs_source="auto",
+                            manifest_dir=tmp_path / "manifests")
+    spec = make_job()
+    runner.run([spec, make_job(design="morphctr"), spec])
+    manifest = json.loads(runner.report.manifest_path.read_text())
+    assert manifest["jobs_source"] == "auto"
+    assert manifest["totals"]["duplicates"] == 1
+    assert manifest["totals"]["jobs"] == 2
 
 
 def test_retry_then_success():
