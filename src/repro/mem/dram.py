@@ -261,6 +261,26 @@ class DramModel:
             | column
         )
 
+    def decode_batch(self, block_addresses):
+        """Vectorised :meth:`decode` over an array of block addresses.
+
+        Returns ``(channels, banks, rows, columns)`` as parallel int64
+        arrays — the same bit-field split as the scalar form, element for
+        element.  The batched simulation kernel uses this to pre-split a
+        whole epoch's miss tail in one shot (the bank *state machine*
+        stays scalar: each request's latency depends on the previous
+        one's side effects).
+        """
+        import numpy as np
+
+        blocks = np.asarray(block_addresses, dtype=np.int64)
+        return (
+            (blocks >> self._channel_shift) & self._channel_mask,
+            (blocks >> self._bank_shift) & self._bank_mask,
+            blocks >> self._row_shift,
+            blocks & self._column_mask,
+        )
+
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------

@@ -5,19 +5,25 @@ substitution 1): accesses flow through the design's cache hierarchy and
 secure-memory engine, per-access latencies are accumulated, and an IPC
 proxy is derived with a fixed memory-level-parallelism overlap factor.
 
-Two trace representations are accepted by :meth:`Simulator.run`:
+Three dispatch paths are accepted by :meth:`Simulator.run`:
 
 * **array traces** (:class:`~repro.workloads.trace.Trace` /
   :class:`~repro.workloads.trace.TraceArrays`) take the fast path — the
   packed address/type/core arrays are unpacked once into scalar lists and
   fed to ``design.process_fast`` with pre-shifted block addresses, so no
   per-access object is ever constructed;
+* the **batched** path (``path="batched"``) layers the epoch-batched
+  kernel of :mod:`repro.sim.batched` on top of the same arrays: each
+  epoch's exact L1 hit/miss partition is computed vectorised and only the
+  miss tail runs through scalar ``process_fast``, falling back to the
+  arrays path for designs the kernel cannot model;
 * any other ``Iterable[MemoryAccess]`` (lists, generators) takes the
   legacy object path through ``design.process``.
 
-Both paths execute the identical sequence of cache/engine operations and
+All paths execute the identical sequence of cache/engine operations and
 therefore produce byte-identical metrics — a contract locked down by the
-golden-metrics determinism test.
+golden-metrics determinism test and the ``verify diff --path-pair``
+differential oracle.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from ..secure.counters import make_counter_scheme
 from ..secure.designs import CosmosDesign, SecureDesign, make_design
 from ..secure.layout import SecureLayout
 from ..workloads.trace import TraceArrays
+from .batched import run_batched
 from .config import SimulationConfig
 from .results import SimulationResult
 
@@ -110,6 +117,7 @@ class Simulator:
         progress_interval: int = 100_000,
         warmup_accesses: int = 0,
         path: Optional[str] = None,
+        batch_epoch: Optional[int] = None,
     ) -> SimulationResult:
         """Simulate every access in ``trace`` and return the result.
 
@@ -128,13 +136,20 @@ class Simulator:
                 window: caches fill and predictors train during warmup,
                 but every statistic is reset afterwards.
             path: Force a dispatch path instead of auto-detecting from the
-                trace type: ``"arrays"`` (the allocation-free fast loop) or
-                ``"objects"`` (the legacy ``design.process`` loop).  Both
-                paths execute the identical operation sequence and must
-                produce byte-identical metrics — the contract the
-                differential oracle (``repro.verify``) checks by running
-                the same trace down each one.  ``None``/``"auto"`` keeps
-                the existing behaviour.
+                trace type: ``"arrays"`` (the allocation-free fast loop),
+                ``"batched"`` (the epoch-batched vectorised kernel of
+                :mod:`repro.sim.batched`, falling back to the arrays loop
+                for designs it cannot model) or ``"objects"`` (the legacy
+                ``design.process`` loop).  All paths execute the identical
+                operation sequence and must produce byte-identical
+                metrics — the contract the differential oracle
+                (``repro.verify``) checks by running the same trace down
+                each one.  ``None``/``"auto"`` keeps the existing
+                behaviour.
+            batch_epoch: Epoch length for the batched kernel (default
+                :data:`repro.sim.batched.DEFAULT_EPOCH`).  Metrics never
+                depend on it — chunk-boundary tests and the fuzz harness
+                vary it to prove exactly that.  Ignored on other paths.
 
         When observability is enabled (``REPRO_OBS=1``), a
         :class:`~repro.obs.timeseries.SimSampler` rides in the progress-hook
@@ -158,9 +173,9 @@ class Simulator:
             progress_hook, progress_interval = _merge_hooks(
                 progress_hook, progress_interval, sampler
             )
-        if path not in (None, "auto", "arrays", "objects"):
+        if path not in (None, "auto", "arrays", "objects", "batched"):
             raise ValueError(
-                f"path must be 'arrays', 'objects' or 'auto', not {path!r}"
+                f"path must be 'arrays', 'batched', 'objects' or 'auto', not {path!r}"
             )
         arrays: Optional[TraceArrays] = None
         if path != "objects":
@@ -170,12 +185,19 @@ class Simulator:
                 to_arrays = getattr(trace, "arrays", None)
                 if callable(to_arrays):
                     arrays = to_arrays()
-            if arrays is None and path == "arrays":
-                arrays = TraceArrays.from_accesses(list(trace))
+            if arrays is None and path in ("arrays", "batched"):
+                # Stream plain iterables into packed arrays chunk by chunk
+                # instead of materialising the whole trace as a list first.
+                arrays = TraceArrays.from_iter(trace)
         elif isinstance(trace, TraceArrays):
             trace = trace.to_accesses()
         with obs.span("sim.run", design=self.design.name, workload=self.workload):
-            if arrays is not None:
+            if arrays is not None and path == "batched":
+                self._run_batched(
+                    arrays, progress_hook, progress_interval, warmup_accesses,
+                    batch_epoch,
+                )
+            elif arrays is not None:
                 self._run_arrays(arrays, progress_hook, progress_interval, warmup_accesses)
             else:
                 self._run_objects(trace, progress_hook, progress_interval, warmup_accesses)
@@ -224,6 +246,28 @@ class Simulator:
             self.accesses += 1
             if self.accesses % progress_interval == 0:
                 progress_hook(self.accesses, self)
+
+    def _run_batched(
+        self,
+        arrays: TraceArrays,
+        progress_hook: Optional[Callable[[int, "Simulator"], None]],
+        progress_interval: int,
+        warmup_accesses: int,
+        batch_epoch: Optional[int] = None,
+    ) -> None:
+        """Epoch-batched kernel; falls back to the scalar arrays loop.
+
+        :func:`repro.sim.batched.run_batched` returns False — without
+        touching any design or simulator state — when the design's L1s do
+        not satisfy the kernel's model (associativity != 2, custom
+        replacement) or the trace carries negative addresses; those runs
+        take the ordinary arrays path and still produce identical metrics.
+        """
+        if not run_batched(
+            self, arrays, progress_hook, progress_interval, warmup_accesses,
+            epoch_size=batch_epoch,
+        ):
+            self._run_arrays(arrays, progress_hook, progress_interval, warmup_accesses)
 
     def _run_objects(
         self,
@@ -338,12 +382,13 @@ def simulate(
     config: Optional[SimulationConfig] = None,
     workload: str = "trace",
     path: Optional[str] = None,
+    batch_epoch: Optional[int] = None,
 ) -> SimulationResult:
     """One-call convenience: build the design, run the trace, return results."""
     config = config if config is not None else SimulationConfig()
     design = build_design(design_name, config)
     simulator = Simulator(design, config, workload)
-    return simulator.run(trace, path=path)
+    return simulator.run(trace, path=path, batch_epoch=batch_epoch)
 
 
 def simulate_designs(

@@ -17,6 +17,7 @@ from .differential import (
     check_invariants,
     diff_functional,
     diff_paths,
+    lockstep_path_pair,
     lockstep_paths,
     run_with_invariants,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "diff_paths",
     "generate_ops",
     "generate_schedule",
+    "lockstep_path_pair",
     "lockstep_paths",
     "replay",
     "run_attack",

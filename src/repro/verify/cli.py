@@ -62,10 +62,19 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
+    pair = tuple(p.strip() for p in args.path_pair.split(","))
+    if len(pair) != 2 or not all(
+        p in ("arrays", "objects", "batched") for p in pair
+    ):
+        print(
+            "--path-pair must name two of arrays, objects, batched "
+            f"(got {args.path_pair!r})"
+        )
+        return 2
     rng = random.Random(f"cosmos-verify:diff:{args.seed}")
     accesses = _random_accesses(rng, args.accesses, footprint_blocks=512)
     config = SimulationConfig()
-    paths_report = diff_paths(args.design, accesses, config)
+    paths_report = diff_paths(args.design, accesses, config, path_pair=pair)
     invariants = run_with_invariants(args.design, accesses, config)
     _print({"paths": paths_report.to_dict(), "invariants": invariants.to_dict()})
     return 0 if paths_report.matched and invariants.matched else 1
@@ -115,11 +124,16 @@ def add_verify_parser(sub: argparse._SubParsersAction) -> None:
     attack.set_defaults(func=_cmd_attack)
 
     diff = verify_sub.add_parser(
-        "diff", help="array-vs-object path differential + engine invariants"
+        "diff", help="dispatch-path differential + engine invariants"
     )
     diff.add_argument("--design", choices=DESIGNS, default="cosmos")
     diff.add_argument("--seed", type=int, default=0)
     diff.add_argument("--accesses", type=int, default=2000)
+    diff.add_argument(
+        "--path-pair", default="arrays,objects", metavar="PATH,PATH",
+        help="the two dispatch paths to lockstep (e.g. arrays,batched; "
+             "default: %(default)s)",
+    )
     diff.set_defaults(func=_cmd_diff)
 
     replay_parser = verify_sub.add_parser(

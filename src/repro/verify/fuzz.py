@@ -232,13 +232,28 @@ def run_fuzz(
         paths_report = diff_paths(design, accesses, config)
         if not paths_report.matched:
             failures.append(f"path differential diverged: {paths_report.to_dict()}")
+        # Second leg: the epoch-batched kernel against its scalar arrays
+        # reference, with a trial-varied epoch so chunk boundaries (and
+        # the carry handoff between them) are fuzzed too.
+        batched_report = diff_paths(
+            design, accesses, config,
+            path_pair=("arrays", "batched"),
+            epoch=rng.choice((64, 256, 1024)),
+        )
+        if not batched_report.matched:
+            failures.append(
+                f"batched differential diverged: {batched_report.to_dict()}"
+            )
         invariants = run_with_invariants(design, accesses, config)
         if not invariants.matched:
             failures.append(f"invariants violated: {invariants.to_dict()}")
 
         if failures:
             min_ops, min_schedule = (list(ops), list(schedule))
-            attack_related = any(not f.startswith(("path ", "invariants", "functional")) for f in failures)
+            attack_related = any(
+                not f.startswith(("path ", "batched ", "invariants", "functional"))
+                for f in failures
+            )
             if attack_related and schedule:
                 min_ops, min_schedule = shrink_case(scheme_name, num_blocks, list(ops), list(schedule))
             repro_path = out_dir / f"repro-{seed}-{trial}.json"

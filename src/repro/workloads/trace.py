@@ -19,6 +19,7 @@ execution feeding one shared LLC and memory controller.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -130,6 +131,60 @@ class TraceArrays:
             (access.core for access in accesses), dtype=CORE_DTYPE, count=count
         )
         return cls(addresses, types, cores)
+
+    @classmethod
+    def from_iter(
+        cls, accesses: Iterable[MemoryAccess], chunk: int = 65536
+    ) -> "TraceArrays":
+        """Pack any iterable of access records, streaming in bounded chunks.
+
+        Unlike :meth:`from_accesses` this never materialises the whole
+        iterable as a Python list: generators are consumed ``chunk``
+        records at a time straight into typed arrays, so peak overhead is
+        one chunk of objects rather than the full trace.  Sequences take
+        the single-pass :meth:`from_accesses` shortcut.
+        """
+        if isinstance(accesses, Sequence):
+            return cls.from_accesses(accesses)
+        address_parts: List[np.ndarray] = []
+        type_parts: List[np.ndarray] = []
+        core_parts: List[np.ndarray] = []
+        iterator = iter(accesses)
+        while True:
+            part = list(itertools.islice(iterator, chunk))
+            if not part:
+                break
+            count = len(part)
+            address_parts.append(
+                np.fromiter(
+                    (access.address for access in part),
+                    dtype=ADDRESS_DTYPE,
+                    count=count,
+                )
+            )
+            type_parts.append(
+                np.fromiter(
+                    (int(access.type) for access in part),
+                    dtype=TYPE_DTYPE,
+                    count=count,
+                )
+            )
+            core_parts.append(
+                np.fromiter(
+                    (access.core for access in part), dtype=CORE_DTYPE, count=count
+                )
+            )
+        if not address_parts:
+            return cls(
+                np.empty(0, dtype=ADDRESS_DTYPE),
+                np.empty(0, dtype=TYPE_DTYPE),
+                np.empty(0, dtype=CORE_DTYPE),
+            )
+        return cls(
+            np.concatenate(address_parts),
+            np.concatenate(type_parts),
+            np.concatenate(core_parts),
+        )
 
     def to_accesses(self) -> List[MemoryAccess]:
         """Materialise the equivalent list of ``MemoryAccess`` objects."""

@@ -1,0 +1,260 @@
+"""Unit tests for the epoch-batched kernel's vectorised building blocks.
+
+The integration contract (byte-identical ``SimulationResult`` payloads)
+lives in ``test_golden_metrics.py``; this module pins the pieces in
+isolation so a classifier regression is caught at the array level, with
+a readable diff, rather than as an opaque metrics mismatch:
+
+* ``classify_epoch`` against a transliterated per-set 2-way LRU model,
+  including carry handoff across epoch boundaries;
+* ``hash_block_batch`` bit-for-bit against the scalar splitmix64 hash;
+* ``DramModel.decode_batch`` against the scalar ``decode``;
+* ``TraceArrays.from_iter`` streaming materialisation;
+* the ``REPRO_SIM_PATH`` execution option and its validation;
+* the kernel's scalar fallbacks (unsupported design, negative blocks).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import hash_block, hash_block_batch
+from repro.exec.options import options_from_env, set_options
+from repro.mem.access import AccessType, MemoryAccess
+from repro.mem.dram import DramModel
+from repro.sim.batched import classify_epoch, run_batched
+from repro.sim.config import small_test_config
+from repro.sim.simulator import Simulator, build_design
+from repro.workloads.micro import zipf_trace
+from repro.workloads.trace import TraceArrays
+
+
+# ---------------------------------------------------------------------------
+# classify_epoch vs a reference scalar 2-way LRU
+
+
+def _reference_classify(blocks, keys, top, second):
+    """Transliterated always-fill 2-way LRU: the model the kernel must match."""
+    hits = []
+    for block, key in zip(blocks, keys):
+        if block == top[key]:
+            hits.append(True)
+        elif block == second[key]:
+            hits.append(True)
+            second[key] = top[key]
+            top[key] = block
+        else:
+            hits.append(False)
+            second[key] = top[key]
+            top[key] = block
+    return hits
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("num_keys", [1, 4, 32])
+def test_classify_epoch_matches_reference_lru(seed, num_keys):
+    rng = random.Random(f"classify:{seed}:{num_keys}")
+    # Empty-way sentinels: MRU=-1, LRU=-2 (distinct so a carry prefix
+    # always produces a change point).
+    vec_top = np.full(num_keys, -1, dtype=np.int64)
+    vec_second = np.full(num_keys, -2, dtype=np.int64)
+    ref_top = vec_top.tolist()
+    ref_second = vec_second.tolist()
+    # Several epochs of varying length so the carry handoff is exercised.
+    for epoch_len in (1, 3, 50, 200, 7):
+        blocks = np.array(
+            [rng.randrange(12) for _ in range(epoch_len)], dtype=np.int64
+        )
+        keys = np.array(
+            [rng.randrange(num_keys) for _ in range(epoch_len)], dtype=np.int64
+        )
+        hits = classify_epoch(blocks, keys, vec_top, vec_second)
+        expected = _reference_classify(
+            blocks.tolist(), keys.tolist(), ref_top, ref_second
+        )
+        assert hits.tolist() == expected
+        assert vec_top.tolist() == ref_top
+        assert vec_second.tolist() == ref_second
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 4)), min_size=1, max_size=120
+    ),
+    splits=st.lists(st.integers(1, 16), max_size=6),
+)
+def test_classify_epoch_split_points_are_pure_mechanism(accesses, splits):
+    """Property: any partition of the stream into epochs classifies the
+    same — the carry handoff is equivalent to one unbroken epoch."""
+    blocks = np.array([a[0] for a in accesses], dtype=np.int64)
+    keys = np.array([a[1] for a in accesses], dtype=np.int64)
+
+    def run(chunk_sizes):
+        top = np.full(5, -1, dtype=np.int64)
+        second = np.full(5, -2, dtype=np.int64)
+        hits = []
+        pos = 0
+        for size in chunk_sizes:
+            if pos >= len(blocks):
+                break
+            stop = min(len(blocks), pos + size)
+            hits.extend(
+                classify_epoch(blocks[pos:stop], keys[pos:stop], top, second)
+                .tolist()
+            )
+            pos = stop
+        if pos < len(blocks):
+            hits.extend(
+                classify_epoch(blocks[pos:], keys[pos:], top, second).tolist()
+            )
+        return hits, top.tolist(), second.tolist()
+
+    assert run(splits) == run([len(blocks)])
+
+
+def test_classify_epoch_repeated_block_single_set():
+    """Degenerate single-set stream: miss, then hits, then eviction."""
+    top = np.full(1, -1, dtype=np.int64)
+    second = np.full(1, -2, dtype=np.int64)
+    blocks = np.array([5, 5, 6, 5, 7, 6], dtype=np.int64)
+    keys = np.zeros(6, dtype=np.int64)
+    hits = classify_epoch(blocks, keys, top, second)
+    # State as [MRU, LRU]: [.,.] 5m [5,.] 5h [5,.] 6m [6,5] 5h [5,6]
+    # 7m evicts 6 [7,5] 6m evicts 5 [6,7].
+    assert hits.tolist() == [False, True, False, True, False, False]
+    assert top[0] == 6 and second[0] == 7
+
+
+# ---------------------------------------------------------------------------
+# hash_block_batch vs scalar hash_block
+
+
+def test_hash_block_batch_matches_scalar():
+    rng = random.Random("hash-batch")
+    blocks = [rng.randrange(1 << 48) for _ in range(2000)]
+    blocks += [0, 1, (1 << 42) - 1, 1 << 42, (1 << 63) - 1]
+    batch = hash_block_batch(np.array(blocks, dtype=np.uint64))
+    scalar = [hash_block(b) for b in blocks]
+    assert batch.tolist() == scalar
+
+
+def test_hash_block_batch_custom_num_states():
+    blocks = np.arange(512, dtype=np.uint64)
+    batch = hash_block_batch(blocks, num_states=64)
+    scalar = [hash_block(int(b), num_states=64) for b in blocks]
+    assert batch.tolist() == scalar
+    assert int(batch.max()) < 64
+
+
+# ---------------------------------------------------------------------------
+# DramModel.decode_batch vs scalar decode
+
+
+@pytest.mark.parametrize("channels,banks", [(1, 16), (2, 8), (4, 4)])
+def test_decode_batch_matches_scalar(channels, banks):
+    dram = DramModel(num_channels=channels, num_banks=banks)
+    rng = random.Random(f"decode:{channels}:{banks}")
+    blocks = np.array(
+        [rng.randrange(1 << 32) for _ in range(1000)], dtype=np.int64
+    )
+    vec_channels, vec_banks, vec_rows, vec_columns = dram.decode_batch(blocks)
+    for i, block in enumerate(blocks.tolist()):
+        channel, bank, row, column = dram.decode(block)
+        assert (
+            vec_channels[i], vec_banks[i], vec_rows[i], vec_columns[i]
+        ) == (channel, bank, row, column)
+
+
+# ---------------------------------------------------------------------------
+# TraceArrays.from_iter streaming materialisation
+
+
+def _accesses(n, seed=3):
+    rng = random.Random(seed)
+    return [
+        MemoryAccess(
+            rng.randrange(4096) << 6,
+            AccessType.WRITE if rng.random() < 0.4 else AccessType.READ,
+            core=rng.randrange(2),
+        )
+        for _ in range(n)
+    ]
+
+
+@pytest.mark.parametrize("n", [0, 1, 100, 200_000])
+def test_from_iter_generator_matches_from_accesses(n):
+    accesses = _accesses(n)
+    # chunk=4096 forces multi-chunk assembly for the large case.
+    streamed = TraceArrays.from_iter(iter(accesses), chunk=4096)
+    packed = TraceArrays.from_accesses(accesses)
+    for field in ("addresses", "types", "cores"):
+        got = getattr(streamed, field)
+        want = getattr(packed, field)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+
+def test_from_iter_sequence_shortcut():
+    accesses = _accesses(64)
+    assert np.array_equal(
+        TraceArrays.from_iter(accesses).addresses,
+        TraceArrays.from_accesses(accesses).addresses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# REPRO_SIM_PATH execution option
+
+
+def test_sim_path_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_PATH", "batched")
+    assert options_from_env().sim_path == "batched"
+    monkeypatch.delenv("REPRO_SIM_PATH")
+    assert options_from_env().sim_path == "auto"
+
+
+def test_sim_path_env_invalid_value_ignored(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_PATH", "warp-drive")
+    assert options_from_env().sim_path == "auto"
+
+
+def test_set_options_rejects_unknown_sim_path():
+    with pytest.raises(ValueError):
+        set_options(sim_path="warp-drive")
+
+
+# ---------------------------------------------------------------------------
+# Scalar fallbacks
+
+
+def test_run_batched_falls_back_on_unsupported_design():
+    config = small_test_config(num_cores=1)
+    trace = zipf_trace(n=500, seed=4)
+    design = build_design("np", config)
+    design.supports_batch_hits = lambda: False
+    simulator = Simulator(design, config)
+    assert run_batched(simulator, trace.arrays()) is False
+    # Dispatch-level fallback: the run still completes via the arrays path.
+    simulator = Simulator(design, config)
+    result = simulator.run(trace, path="batched")
+    assert result.accesses == len(trace)
+
+
+def test_run_batched_falls_back_on_negative_blocks():
+    config = small_test_config(num_cores=1)
+    design = build_design("np", config)
+    simulator = Simulator(design, config)
+    arrays = TraceArrays.from_accesses(_accesses(16))
+    arrays.addresses[3] = -64  # negative block collides with sentinels
+    assert run_batched(simulator, arrays) is False
+
+
+def test_run_batched_empty_trace_is_supported():
+    config = small_test_config(num_cores=1)
+    simulator = Simulator(build_design("np", config), config)
+    assert run_batched(simulator, TraceArrays.from_accesses([])) is True
+    assert simulator.accesses == 0

@@ -1,11 +1,18 @@
-"""Golden-metrics determinism: object-trace vs array-trace fast path.
+"""Golden-metrics determinism across the three dispatch paths.
 
 ``Simulator.run`` dispatches array-backed traces to ``design.process_fast``
-and plain iterables of ``MemoryAccess`` to ``design.process``.  Both paths
-must execute the identical sequence of cache/engine/RL operations, so the
-full ``SimulationResult.to_dict()`` payload has to be *byte-identical*
-between them — the contract that lets the hot path stay allocation-free
-without ever becoming a second, subtly different simulator.
+("arrays"), plain iterables of ``MemoryAccess`` to ``design.process``
+("objects"), and — when the design supports it — the epoch-batched
+vectorised kernel ("batched").  All three paths must execute the identical
+sequence of cache/engine/RL operations, so the full
+``SimulationResult.to_dict()`` payload has to be *byte-identical* between
+them — the contract that lets the hot paths stay allocation-free without
+ever becoming a second, subtly different simulator.
+
+The batched kernel additionally promises that its epoch size is pure
+mechanism: any ``batch_epoch`` (including degenerate sizes like 1, primes
+that never align with ``progress_interval``, and "whole trace at once")
+yields the same metrics and the same progress-hook sequence.
 """
 
 import json
@@ -13,10 +20,13 @@ import json
 import pytest
 
 from repro.sim.config import small_test_config
-from repro.sim.simulator import simulate
+from repro.sim.simulator import Simulator, build_design, simulate
 from repro.workloads.micro import zipf_trace
 
 DESIGNS = ["np", "morphctr", "early", "cosmos"]
+
+#: All-pairs reference: objects is the slow, obviously-correct baseline.
+PATHS = ["arrays", "batched"]
 
 
 @pytest.fixture(scope="module")
@@ -25,19 +35,105 @@ def trace():
     return zipf_trace(n=6000, alpha=1.0, write_fraction=0.4, seed=11)
 
 
-@pytest.mark.parametrize("design", DESIGNS)
-def test_object_and_array_paths_are_byte_identical(design, trace):
+def _result_json(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def object_reference(trace):
+    """Per-design objects-path payloads, computed once for the module."""
     config = small_test_config(num_cores=1)
-    # Plain list => legacy object path (no ``arrays`` attribute to sniff).
-    object_result = simulate(design, list(trace.accesses), config, workload="zipf")
-    # Trace => array fast path (``Simulator.run`` calls ``trace.arrays()``).
-    array_result = simulate(design, trace, config, workload="zipf")
-    object_json = json.dumps(object_result.to_dict(), sort_keys=True)
-    array_json = json.dumps(array_result.to_dict(), sort_keys=True)
-    assert object_json == array_json
+    return {
+        design: _result_json(
+            simulate(design, list(trace.accesses), config, workload="zipf")
+        )
+        for design in DESIGNS
+    }
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("design", DESIGNS)
+def test_paths_are_byte_identical(design, path, trace, object_reference):
+    config = small_test_config(num_cores=1)
+    result = simulate(design, trace, config, workload="zipf", path=path)
+    assert _result_json(result) == object_reference[design]
+
+
+@pytest.mark.parametrize("design", ["np", "cosmos"])
+@pytest.mark.parametrize("warmup", [0, 1000])
+def test_paths_agree_under_warmup(design, warmup, trace):
+    """Warmup (run, then reset stats mid-trace) must not split the paths.
+
+    The batched kernel runs warmup through the same epoch machinery and
+    then zeroes counters while keeping its L1 carry state — this is only
+    sound if the post-reset metrics still match the scalar paths exactly.
+    """
+    config = small_test_config(num_cores=1)
+    payloads = {}
+    for path, source in [
+        ("objects", list(trace.accesses)),
+        ("arrays", trace),
+        ("batched", trace),
+    ]:
+        simulator = Simulator(build_design(design, config), config, "zipf")
+        result = simulator.run(source, warmup_accesses=warmup, path=path)
+        payloads[path] = _result_json(result)
+    assert payloads["arrays"] == payloads["objects"]
+    assert payloads["batched"] == payloads["objects"]
+
+
+@pytest.mark.parametrize("epoch", [1, 7, 1024, None])
+def test_batched_epoch_size_is_pure_mechanism(epoch, trace, object_reference):
+    """Chunk boundaries must be invisible: any epoch, same payload.
+
+    ``None`` exercises the kernel default; 1 forces a carry handoff on
+    every access; 7 never divides the trace; 1024 is a typical size.
+    """
+    config = small_test_config(num_cores=1)
+    batch_epoch = len(trace) if epoch is None else epoch
+    result = simulate(
+        "cosmos", trace, config, workload="zipf",
+        path="batched", batch_epoch=batch_epoch,
+    )
+    assert _result_json(result) == object_reference["cosmos"]
+
+
+@pytest.mark.parametrize("epoch", [7, 64])
+def test_batched_progress_hooks_match_arrays(epoch, trace):
+    """Hook sequence is part of the contract, not just the final metrics.
+
+    ``progress_interval=13`` never aligns with the epoch, so the kernel
+    has to split chunks mid-epoch to fire hooks at exactly the same
+    access counts (and with identical running latency) as the scalar
+    arrays path.
+    """
+    config = small_test_config(num_cores=1)
+
+    def run(path, batch_epoch=None):
+        events = []
+
+        def hook(done, simulator):
+            events.append((done, simulator.total_latency))
+
+        simulator = Simulator(build_design("morphctr", config), config, "zipf")
+        simulator.run(
+            trace, progress_hook=hook, progress_interval=13,
+            path=path, batch_epoch=batch_epoch,
+        )
+        return events
+
+    reference = run("arrays")
+    assert reference  # interval 13 on a 6000-access trace must fire
+    assert run("batched", batch_epoch=epoch) == reference
 
 
 def test_array_path_actually_processes_every_access(trace):
     config = small_test_config(num_cores=1)
     result = simulate("np", trace, config)
+    assert result.accesses == len(trace)
+
+
+def test_batched_path_actually_processes_every_access(trace):
+    config = small_test_config(num_cores=1)
+    result = simulate("np", trace, config, path="batched")
     assert result.accesses == len(trace)

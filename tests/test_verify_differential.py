@@ -19,10 +19,12 @@ from repro.verify import (
     check_invariants,
     diff_functional,
     diff_paths,
+    lockstep_path_pair,
     lockstep_paths,
     run_with_invariants,
 )
 from repro.verify.differential import diff_dicts, flatten
+from repro.workloads.trace import TraceArrays
 
 SCHEMES = ("monolithic", "split", "morphctr")
 
@@ -96,6 +98,24 @@ def test_array_and_object_paths_agree_byte_for_byte(design):
 def test_lockstep_paths_agrees_access_by_access():
     accesses = random_accesses("lockstep", count=200)
     assert lockstep_paths("cosmos", accesses, SimulationConfig()) is None
+
+
+@pytest.mark.parametrize("design", ["np", "cosmos", "synergy"])
+def test_arrays_and_batched_paths_agree_byte_for_byte(design):
+    report = diff_paths(
+        design, random_accesses(f"batched:{design}"), SimulationConfig(),
+        path_pair=("arrays", "batched"), epoch=128,
+    )
+    assert report.matched, report.to_dict()
+    assert report.label == f"paths:{design}:arrays-vs-batched"
+
+
+def test_lockstep_path_pair_agrees_epoch_by_epoch():
+    accesses = random_accesses("lockstep-pair", count=500)
+    assert lockstep_path_pair(
+        "cosmos", TraceArrays.from_accesses(accesses), "arrays", "batched",
+        SimulationConfig(), epoch=64,
+    ) is None
 
 
 # ----------------------------------------------------------------------
