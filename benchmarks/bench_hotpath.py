@@ -17,6 +17,7 @@ import json
 import os
 from pathlib import Path
 
+from repro.bench.history import HISTORY_FILENAME, append_history
 from repro.bench.perf import (
     DEFAULT_DESIGNS,
     measure_dram,
@@ -56,6 +57,9 @@ BENCH_PATHS = ("arrays", "batched")
 def test_hotpath_throughput(run_once):
     payload = run_once(lambda **kw: run_benchmark(paths=BENCH_PATHS, **kw))
     write_report(payload, Path("BENCH_hotpath.json"))
+    # Longitudinal record for the perf observatory (`repro obs bench-trend`):
+    # the snapshot above catches step regressions, the history catches drift.
+    append_history(payload, Path(HISTORY_FILENAME))
     results = payload["results"]
     expected = {
         name if path == "arrays" else f"{name}@{path}"

@@ -416,6 +416,15 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         "--serve-requests", type=int, default=SERVE_BENCH_REQUESTS,
         help="submits in the serve microbenchmark (default: %(default)s)",
     )
+    parser.add_argument(
+        "--history", type=Path, default=None, metavar="FILE",
+        help="benchmark history file to append to "
+             "(default: BENCH_history.jsonl next to the report)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the benchmark-history append",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.serve:
         entry = measure_serve(requests=args.serve_requests, repeats=args.repeats)
@@ -459,6 +468,15 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     write_report(payload, args.output)
     print(format_report(payload))
     print(f"report written to {args.output}")
+    if not args.no_history:
+        from .history import HISTORY_FILENAME, append_history
+
+        history_path = (args.history if args.history is not None
+                        else args.output.parent / HISTORY_FILENAME)
+        record = append_history(payload, history_path)
+        if record is not None:
+            print(f"history appended to {history_path}"
+                  f" (sha={record.get('sha') or '?'})")
     return 0
 
 

@@ -25,13 +25,13 @@ produce metric-identical results — the property the determinism test in
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections import deque
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import obs
-from ..obs.artifacts import write_chrome_trace
 from ..sim.results import SimulationResult
 from .cache import ResultCache
 from .jobs import JobSpec
@@ -118,8 +118,17 @@ class ParallelRunner:
         results: Dict[str, SimulationResult] = {}
         ticker = ProgressTicker(len(ordered), enabled=self.ticker_enabled)
         recorder = obs.SpanRecorder("exec.run") if obs.enabled() else None
+        # Trace context: one run_id for the whole sweep, propagated into
+        # worker processes (fork inherits the active context; spawn reads
+        # the env mirror) so per-job artifacts can be merged back into one
+        # run-level Chrome trace.  Obs off → no context, no artifacts.
+        context = None
+        if recorder is not None:
+            context = obs.TraceContext(run_id=obs.new_run_id(),
+                                       origin="exec.run", root_pid=os.getpid())
+            report.run_id = context.run_id
 
-        with obs.recording(recorder):
+        with obs.propagated(context), obs.recording(recorder):
             # Phase 1: answer what the cache already knows.
             misses: List[Tuple[str, JobSpec]] = []
             with obs.span("cache_probe", jobs=len(ordered)):
@@ -160,14 +169,26 @@ class ParallelRunner:
         if self.manifest_dir is not None:
             report.write_manifest(self.manifest_dir)
             if recorder is not None and report.manifest_path is not None:
-                write_chrome_trace(
-                    report.manifest_path.with_suffix(".trace.json"), recorder)
+                self._merge_trace(report)
         ticker.close(summary=report.summary_line())
         failures = [record for record in report.records
                     if record.status not in ("ok", "cached")]
         if failures and self.strict:
             raise ExecutionError(failures)
         return results
+
+    def _merge_trace(self, report: RunReport) -> None:
+        """Stitch orchestrator and worker spans into the manifest's merged
+        Chrome trace (the ``.trace.json`` sibling); best-effort."""
+        from ..bench.runner import cache_dir
+        from ..obs.merge import merge_manifest
+
+        try:
+            trace_path, _ = merge_manifest(report.manifest_path,
+                                           cache_root=cache_dir())
+        except (OSError, ValueError):
+            return
+        report.trace = trace_path.name
 
     def _finalize_obs(self, report: RunReport, recorder) -> None:
         """Fold the span tree and registry snapshot into the report."""

@@ -29,6 +29,8 @@ from ..obs import log as obs_log
 
 #: Manifest layout version.  v2 added the ``spans`` and ``metrics`` keys;
 #: v1 manifests (no such keys) are still accepted by :func:`RunReport.from_dict`.
+#: The ``run_id``/``pid``/``trace`` keys are additive within v2: readers
+#: treat their absence as ``None``, so no version bump was needed.
 MANIFEST_VERSION = 2
 
 #: Fallback ticker width when the terminal size cannot be determined.
@@ -94,6 +96,14 @@ class RunReport:
     records: List[JobRecord] = field(default_factory=list)
     wall_time: float = 0.0
     manifest_path: Optional[Path] = None
+    #: Trace-context identity of the run — set by the orchestrator when
+    #: observability is on, carried into workers (see
+    #: :mod:`repro.obs.tracectx`) and used by ``repro obs merge`` to match
+    #: per-job artifacts to this manifest.
+    run_id: Optional[str] = None
+    #: File name of the merged run-level Chrome trace (a sibling of the
+    #: manifest), once :mod:`repro.obs.merge` has stitched it.
+    trace: Optional[str] = None
     #: Span tree of the run (``SpanRecorder.to_dict()``), when observability
     #: recorded one.
     spans: Optional[Dict[str, object]] = None
@@ -143,6 +153,9 @@ class RunReport:
             "mode": self.mode,
             "jobs_source": self.jobs_source,
             "sim_path": self.sim_path,
+            "run_id": self.run_id,
+            "pid": os.getpid(),
+            "trace": self.trace,
             "totals": {
                 "jobs": self.total,
                 "duplicates": self.duplicates,
@@ -183,6 +196,8 @@ class RunReport:
             duplicates=int(totals.get("duplicates", 0)),
             records=[JobRecord.from_dict(j) for j in data.get("jobs", [])],
             wall_time=float(totals.get("wall_time_s", 0.0)),
+            run_id=data.get("run_id"),  # type: ignore[arg-type]
+            trace=data.get("trace"),  # type: ignore[arg-type]
             spans=data.get("spans"),  # absent (None) in v1 manifests
             metrics={str(k): float(v)
                      for k, v in data.get("metrics", {}).items()},

@@ -13,6 +13,7 @@ job, written under ``<cache_dir>/obs/<hash16>/``.
 from __future__ import annotations
 
 from .. import obs
+from ..obs import tracectx
 from ..obs.artifacts import obs_root, write_job_artifacts
 from ..sim.results import SimulationResult
 from ..sim.simulator import Simulator, build_design
@@ -66,17 +67,22 @@ def run_job(spec: JobSpec) -> SimulationResult:
                 workload=spec.workload,
             )
             result = simulator.run(trace, path=_sim_path())
+    # Stamp the propagated trace context (run_id + this worker's pid) so
+    # ``repro obs merge`` can attribute this job's span tree to the right
+    # process under the orchestrator's run.
+    meta = {
+        "design": spec.design,
+        "workload": spec.workload,
+        "accesses": result.accesses,
+        "cycles": result.cycles,
+    }
+    meta.update(tracectx.job_annotations())
     write_job_artifacts(
         obs_root(cache_dir()),
         job_hash,
         recorder=recorder,
         sampler=simulator.sampler,
-        meta={
-            "design": spec.design,
-            "workload": spec.workload,
-            "accesses": result.accesses,
-            "cycles": result.cycles,
-        },
+        meta=meta,
     )
     return result
 

@@ -2,12 +2,21 @@
 
 Subcommands:
 
-* ``summarize`` — one line per job artifact (design, workload, samples,
-  events), plus the latest run manifest's totals, top-level metrics and
-  phase-span tree;
+* ``summarize [MANIFEST]`` — one line per job artifact (design, workload,
+  samples, events, ring drops), plus a run manifest's totals, top-level
+  metrics and phase-span tree (the latest one by default, or an explicit
+  manifest path);
 * ``dump JOB`` — full ``job.json`` payload and per-signal statistics of
-  one job (``JOB`` is a hash prefix, or an index from ``summarize``);
-* ``plot JOB`` — unicode sparklines of the job's windowed signals.
+  one job (``JOB`` is a hash prefix, an index from ``summarize``, or a
+  job artifact directory path);
+* ``plot JOB`` — unicode sparklines of the job's windowed signals;
+* ``merge MANIFEST`` — stitch a run manifest's orchestrator spans and its
+  jobs' per-process span trees into one run-level Chrome trace
+  (``MANIFEST`` may be ``latest``);
+* ``tail HOST[:PORT]`` — subscribe to a running experiment server's
+  telemetry stream and render windows live;
+* ``bench-trend`` — compare the newest ``BENCH_history.jsonl`` entry
+  against the median of recent comparable runs and flag drift.
 
 Artifacts are looked up under the cache root (``REPRO_CACHE_DIR`` /
 ``.trace_cache``), where workers write them; ``--cache-dir`` overrides.
@@ -36,7 +45,11 @@ def _cache_root(args: argparse.Namespace) -> Path:
 
 
 def _resolve_job(root: Path, token: str) -> Optional[Path]:
-    """A job directory by hash prefix or by ``summarize`` index."""
+    """A job directory by hash prefix, ``summarize`` index or path."""
+    as_path = Path(token)
+    if (as_path.is_dir() and ("/" in token or token.startswith("."))
+            and (as_path / "job.json").is_file()):
+        return as_path
     jobs = list_jobs(root)
     if token.isdigit() and int(token) < len(jobs):
         return jobs[int(token)]
@@ -73,19 +86,36 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     for index, directory in enumerate(jobs):
         meta = load_job_meta(directory)
         events = meta.get("events", {}) or {}
-        print(
+        line = (
             f"[{index}] {directory.name}"
             f"  {meta.get('design', '?')}/{meta.get('workload', '?')}"
             f"  samples={meta.get('samples', 0)}"
             f"  signals={len(meta.get('signals', []))}"
             f"  events={events.get('total', 0)}"
         )
-    manifest = latest_manifest(Path(root) / "manifests")
-    if manifest is None:
-        return 0
+        # Ring overflow is silent data loss; make it visible here.
+        if events.get("dropped"):
+            line += f"  dropped={events['dropped']}"
+        if meta.get("run_id"):
+            line += f"  run={meta['run_id']}"
+        print(line)
+    label = "latest manifest"
+    if getattr(args, "manifest", None):
+        manifest = Path(args.manifest)
+        label = "manifest"
+        if not manifest.is_file():
+            print(f"no manifest at {manifest}", file=sys.stderr)
+            return 2
+    else:
+        manifest = latest_manifest(Path(root) / "manifests")
+        if manifest is None:
+            return 0
     payload = json.loads(manifest.read_text())
     totals = payload.get("totals", {})
-    print(f"\nlatest manifest: {manifest.name} (v{payload.get('manifest_version', 1)})")
+    print(f"\n{label}: {manifest.name} (v{payload.get('manifest_version', 1)})")
+    if payload.get("run_id"):
+        trace = f" · trace {payload['trace']}" if payload.get("trace") else ""
+        print(f"  run {payload['run_id']} (pid {payload.get('pid', '?')}){trace}")
     print(
         f"  {totals.get('jobs', 0)} jobs"
         f" · {totals.get('cache_hits', 0)} cached"
@@ -147,6 +177,119 @@ def _cmd_plot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from .merge import merge_manifest
+
+    root = _cache_root(args)
+    if args.manifest == "latest":
+        manifest = latest_manifest(Path(root) / "manifests")
+        if manifest is None:
+            print(f"no run manifests under {Path(root) / 'manifests'}",
+                  file=sys.stderr)
+            return 2
+    else:
+        manifest = Path(args.manifest)
+        if not manifest.is_file():
+            print(f"no manifest at {manifest}", file=sys.stderr)
+            return 2
+    try:
+        trace_path, count = merge_manifest(
+            manifest, cache_root=root,
+            output=Path(args.output) if args.output else None)
+    except (OSError, ValueError) as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"{trace_path}: {count} trace events")
+    return 0
+
+
+def _print_window(frame: dict) -> None:
+    """Render one stream ``window`` frame as a compact text block."""
+    print(f"[{frame.get('seq', '?')}] +{frame.get('at_s', 0.0):.2f}s"
+          f"  run={frame.get('run_id', '?')}")
+    metrics = frame.get("metrics") or {}
+    if metrics:
+        rendered = " ".join(
+            f"{name}={metrics[name]:.6g}" for name in sorted(metrics))
+        print(f"  metrics: {rendered}")
+    obs_metrics = frame.get("obs_metrics") or {}
+    if obs_metrics:
+        rendered = " ".join(
+            f"{name}={obs_metrics[name]:.6g}" for name in sorted(obs_metrics))
+        print(f"  obs: {rendered}")
+    for row in frame.get("samples") or []:
+        values = row.get("values") or {}
+        rendered = " ".join(
+            f"{name}={values[name]:.4g}" if isinstance(values[name], float)
+            else f"{name}={values[name]}"
+            for name in sorted(values))
+        print(f"  sample {row.get('design', '?')}/{row.get('workload', '?')}"
+              f" at={row.get('at', '?')} {rendered}")
+    for event in frame.get("events") or []:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(event.items())
+                          if k not in ("kind", "at"))
+        print(f"  event {event.get('kind', '?')} at={event.get('at', '?')}"
+              f" {extras}".rstrip())
+    drops = frame.get("drops") or {}
+    print(f"  drops: windows={drops.get('windows_dropped', 0)}"
+          f" samples_lost={drops.get('samples_lost', 0)}"
+          f" events_lost={drops.get('events_lost', 0)}")
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from ..serve.client import ServeClient, ServeError
+    from ..serve.protocol import parse_address
+
+    try:
+        host, port = parse_address(args.address)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    client = ServeClient(host=host, port=port,
+                         timeout=max(10.0, 3.0 * args.interval))
+    try:
+        client.connect()
+    except OSError as exc:
+        print(f"cannot connect to {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        for frame in client.tail(interval=args.interval,
+                                 max_windows=args.windows):
+            _print_window(frame)
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        pass
+    except (ServeError, ConnectionError, OSError) as exc:
+        print(f"stream ended: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    from ..bench.history import (
+        HISTORY_FILENAME,
+        analyze_trend,
+        format_trend,
+        load_history,
+    )
+
+    path = Path(args.history) if args.history else Path(HISTORY_FILENAME)
+    records = load_history(path)
+    if not records:
+        print(f"no benchmark history at {path}", file=sys.stderr)
+        print("run `python -m repro.bench.perf` to record an entry",
+              file=sys.stderr)
+        return 2
+    analysis = analyze_trend(records, window=args.window,
+                             threshold=args.threshold)
+    print(format_trend(analysis, threshold=args.threshold))
+    if args.strict and analysis.get("flags"):
+        return 1
+    return 0
+
+
 def add_obs_parser(sub: argparse._SubParsersAction) -> None:
     """Attach the ``obs`` subcommand to the top-level CLI parser."""
     obs_parser = sub.add_parser("obs", help="inspect observability artifacts")
@@ -157,7 +300,10 @@ def add_obs_parser(sub: argparse._SubParsersAction) -> None:
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
 
     summarize = obs_sub.add_parser(
-        "summarize", help="list job artifacts and the latest run manifest")
+        "summarize", help="list job artifacts and a run manifest")
+    summarize.add_argument(
+        "manifest", nargs="?", default=None,
+        help="run-manifest path to summarize (default: the latest)")
     summarize.set_defaults(func=_cmd_summarize)
 
     dump = obs_sub.add_parser("dump", help="print one job's metadata and signal stats")
@@ -168,3 +314,39 @@ def add_obs_parser(sub: argparse._SubParsersAction) -> None:
     plot.add_argument("job", help="job hash prefix or summarize index")
     plot.add_argument("signals", nargs="*", help="signal names (default: all)")
     plot.set_defaults(func=_cmd_plot)
+
+    merge = obs_sub.add_parser(
+        "merge", help="stitch a run's span trees into one Chrome trace")
+    merge.add_argument(
+        "manifest", help="run-manifest path, or 'latest'")
+    merge.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="trace output path (default: next to the manifest)")
+    merge.set_defaults(func=_cmd_merge)
+
+    tail = obs_sub.add_parser(
+        "tail", help="stream live telemetry from an experiment server")
+    tail.add_argument("address", help="server address as HOST[:PORT]")
+    tail.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between telemetry windows (default: 1.0)")
+    tail.add_argument(
+        "--windows", type=int, default=None, metavar="N",
+        help="stop after N windows (default: stream until interrupted)")
+    tail.set_defaults(func=_cmd_tail)
+
+    trend = obs_sub.add_parser(
+        "bench-trend", help="flag throughput drift in the benchmark history")
+    trend.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="history file (default: BENCH_history.jsonl)")
+    trend.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="comparable prior runs folded into the median (default: 5)")
+    trend.add_argument(
+        "--threshold", type=float, default=0.01, metavar="FRACTION",
+        help="relative drop below the median that flags (default: 0.01)")
+    trend.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any key is flagged")
+    trend.set_defaults(func=_cmd_bench_trend)

@@ -1,0 +1,166 @@
+"""Stitch per-process span trees into one run-level Chrome trace.
+
+A parallel sweep leaves its spans in two places: the run manifest embeds
+the orchestrator's tree (``cache_probe``/``execute``), and every worker
+writes its own ``spans.trace.json`` under ``<cache>/obs/<hash16>/`` with
+the worker's real pid recorded at export time.  :func:`merge_manifest`
+reads the manifest, collects the job artifacts whose ``run_id`` matches
+(legacy artifacts without a ``run_id`` are included too, so pre-existing
+caches still merge), and emits a single Chrome-trace JSON array:
+
+* one ``M``-phase ``run_id`` metadata event naming the run,
+* ``process_name`` metadata per pid (orchestrator and each worker),
+* the orchestrator's spans under its own pid,
+* every job's spans under the pid that executed it.
+
+The merged file lands as the manifest's ``.trace.json`` sibling and the
+manifest is rewritten with a ``trace`` key pointing at it — the runner
+calls this automatically at the end of an observed run, and
+``repro obs merge <manifest>`` re-runs it on demand (e.g. after jobs from
+several hosts were rsynced into one cache).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .artifacts import job_dir, obs_root
+from .spans import Span
+
+
+def spans_to_events(spans: List[Dict[str, object]], pid: int,
+                    tid: int = 0) -> List[Dict[str, object]]:
+    """Flatten a manifest span tree into Chrome complete events."""
+    events: List[Dict[str, object]] = []
+
+    def emit(node: Span) -> None:
+        event: Dict[str, object] = {
+            "name": node.name,
+            "ph": "X",
+            "ts": round(node.start_s * 1e6, 1),
+            "dur": round(node.duration_s * 1e6, 1),
+            "pid": pid,
+            "tid": tid,
+        }
+        if node.meta:
+            event["args"] = {k: str(v) for k, v in node.meta.items()}
+        events.append(event)
+        for child in node.children:
+            emit(child)
+
+    for payload in spans:
+        emit(Span.from_dict(payload))
+    return events
+
+
+def _metadata_event(name: str, pid: int, args: Dict[str, object]) -> Dict[str, object]:
+    return {"name": name, "ph": "M", "pid": pid, "tid": 0, "args": args}
+
+
+def collect_job_events(
+    root: Path, job_hash: str, run_id: Optional[str]
+) -> Tuple[List[Dict[str, object]], Optional[Dict[str, object]]]:
+    """One job's Chrome events and its ``job.json`` meta, if they merge.
+
+    Returns ``([], None)`` when the artifact is missing, unreadable, or
+    was written by a *different* run (its ``run_id`` exists and differs).
+    """
+    directory = job_dir(Path(root), job_hash)
+    trace_path = directory / "spans.trace.json"
+    meta_path = directory / "job.json"
+    try:
+        meta = json.loads(meta_path.read_text()) if meta_path.is_file() else {}
+        if run_id is not None and meta.get("run_id") not in (None, run_id):
+            return [], None
+        if not trace_path.is_file():
+            return [], meta or None
+        events = json.loads(trace_path.read_text())
+    except (OSError, ValueError):
+        return [], None
+    if not isinstance(events, list):
+        return [], None
+    return [e for e in events if isinstance(e, dict)], meta or None
+
+
+def merge_events(manifest_payload: Dict[str, object],
+                 cache_root: Path) -> List[Dict[str, object]]:
+    """The merged Chrome event list for one manifest payload."""
+    run_id = manifest_payload.get("run_id")
+    root_pid = int(manifest_payload.get("pid", 0) or 0)
+    events: List[Dict[str, object]] = []
+    if run_id is not None:
+        events.append(_metadata_event("run_id", root_pid,
+                                      {"run_id": str(run_id)}))
+    spans = manifest_payload.get("spans") or {}
+    if isinstance(spans, dict) and spans.get("spans"):
+        events.append(_metadata_event(
+            "process_name", root_pid,
+            {"name": f"{spans.get('name', 'exec.run')} (orchestrator)"}))
+        events.extend(spans_to_events(spans["spans"], pid=root_pid))
+
+    root = obs_root(cache_root)
+    named_pids = {root_pid}
+    for record in manifest_payload.get("jobs", []):
+        if not isinstance(record, dict):
+            continue
+        job_hash = str(record.get("job_hash", ""))
+        if not job_hash:
+            continue
+        job_events, meta = collect_job_events(
+            root, job_hash, str(run_id) if run_id is not None else None)
+        if not job_events:
+            continue
+        pids = {int(e.get("pid", 0)) for e in job_events}
+        label = f"{record.get('design', '?')}/{record.get('workload', '?')}"
+        for pid in pids - named_pids:
+            named_pids.add(pid)
+            events.append(_metadata_event(
+                "process_name", pid, {"name": f"worker pid {pid}"}))
+        for event in job_events:
+            args = dict(event.get("args") or {})
+            args.setdefault("job", label)
+            if run_id is not None:
+                args.setdefault("run_id", str(run_id))
+            event["args"] = args
+        events.extend(job_events)
+    return events
+
+
+def merged_trace_path(manifest_path: Path) -> Path:
+    """Where the merged trace for ``manifest_path`` lives (its sibling)."""
+    return Path(manifest_path).with_suffix(".trace.json")
+
+
+def merge_manifest(
+    manifest_path: Path,
+    cache_root: Optional[Path] = None,
+    output: Optional[Path] = None,
+) -> Tuple[Path, int]:
+    """Merge a run manifest's traces; returns ``(trace_path, event_count)``.
+
+    Rewrites the manifest with a ``trace`` key naming the merged artifact
+    (relative to the manifest's directory).
+
+    Raises:
+        OSError / ValueError: On an unreadable or non-JSON manifest.
+    """
+    manifest_path = Path(manifest_path)
+    payload = json.loads(manifest_path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{manifest_path} is not a manifest object")
+    if cache_root is None:
+        from ..bench.runner import cache_dir
+
+        cache_root = cache_dir()
+    events = merge_events(payload, Path(cache_root))
+    trace_path = Path(output) if output is not None else merged_trace_path(manifest_path)
+    trace_path.parent.mkdir(parents=True, exist_ok=True)
+    trace_path.write_text(json.dumps(events, indent=1) + "\n")
+
+    payload["trace"] = trace_path.name
+    from ..exec.cache import write_json_atomic
+
+    write_json_atomic(manifest_path, payload)
+    return trace_path, len(events)

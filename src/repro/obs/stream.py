@@ -1,0 +1,119 @@
+"""Process-wide telemetry hub: live fan-in for the serve stream.
+
+The experiment server (:mod:`repro.serve.server`) installs a
+:class:`TelemetryHub` at startup.  From then on every in-process
+:class:`~repro.obs.timeseries.SimSampler` publishes its windowed samples
+and detected events into the hub's bounded rings as they happen, and the
+server's broadcaster drains ring *deltas* into ``window`` frames for every
+subscribed client.
+
+Design constraints, in order:
+
+* **zero overhead when no hub is installed** — publishing is guarded by a
+  single ``active_hub() is None`` check inside code that only runs when
+  ``REPRO_OBS`` is already on; the simulator's hot loops never see any of
+  this;
+* **bounded memory** — both rings reuse :class:`~repro.obs.events.EventRing`
+  (capacity-bounded deque with a true ``total_recorded`` count), so a
+  subscriber that stalls can lose data but can never grow the server;
+* **explicit loss accounting** — consumers track a cursor against
+  ``total_recorded`` via :func:`tail_since`; anything that aged out of the
+  ring before the cursor caught up is reported as *lost*, never silently
+  skipped.
+
+Process-pool caveat: samplers running inside worker *processes* publish
+into their own (forked) hub copy, which the server never sees — their
+telemetry arrives through per-job artifacts instead.  A server that wants
+live sampler windows runs with ``--executor thread`` (the CI obs-stream
+smoke does exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from .events import EventRing
+
+#: Default ring capacities: enough for several windows of a busy sweep
+#: between broadcaster ticks, small enough to be harmless if nobody reads.
+SAMPLE_CAPACITY = 1024
+EVENT_CAPACITY = 1024
+
+_HUB: Optional["TelemetryHub"] = None
+
+
+def _json_safe(value: object) -> object:
+    """NaN/inf become ``None`` — the wire protocol forbids them."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class TelemetryHub:
+    """Thread-safe fan-in point for live samples and events."""
+
+    def __init__(self, sample_capacity: int = SAMPLE_CAPACITY,
+                 event_capacity: int = EVENT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self.samples = EventRing(sample_capacity)
+        self.events = EventRing(event_capacity)
+
+    def publish_sample(self, design: str, workload: str, at: int,
+                       values: Dict[str, float]) -> None:
+        """One windowed sampler row (non-finite values are nulled)."""
+        safe = {name: _json_safe(value) for name, value in values.items()}
+        with self._lock:
+            self.samples.record("sample", at=at, design=design,
+                                workload=workload, values=safe)
+
+    def publish_event(self, event: Dict[str, object]) -> None:
+        """Mirror one ring event (already a JSON-safe dictionary)."""
+        with self._lock:
+            fields = {k: _json_safe(v) for k, v in event.items()
+                      if k not in ("kind", "at")}
+            self.events.record(str(event.get("kind", "event")),
+                               at=event.get("at"), **fields)
+
+    def tail_samples(self, cursor: int) -> Tuple[List[Dict[str, object]], int, int]:
+        with self._lock:
+            return tail_since(self.samples, cursor)
+
+    def tail_events(self, cursor: int) -> Tuple[List[Dict[str, object]], int, int]:
+        with self._lock:
+            return tail_since(self.events, cursor)
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            return {"samples": self.samples.summary(),
+                    "events": self.events.summary()}
+
+
+def tail_since(ring: EventRing, cursor: int) -> Tuple[List[Dict[str, object]], int, int]:
+    """Entries recorded after ``cursor`` that the ring still retains.
+
+    Returns ``(entries, lost, new_cursor)`` where ``lost`` counts entries
+    that were recorded after the cursor but already evicted by the ring
+    bound — the consumer fell more than ``capacity`` behind.
+    """
+    total = ring.total_recorded
+    new = total - cursor
+    if new <= 0:
+        return [], 0, total
+    retained = ring.to_list()
+    take = min(new, len(retained))
+    return retained[-take:] if take else [], new - take, total
+
+
+def install_hub(hub: Optional[TelemetryHub]) -> Optional[TelemetryHub]:
+    """Make ``hub`` the process's active hub; returns the previous one."""
+    global _HUB
+    previous = _HUB
+    _HUB = hub
+    return previous
+
+
+def active_hub() -> Optional[TelemetryHub]:
+    """The installed hub, or ``None`` (the common, zero-cost case)."""
+    return _HUB

@@ -20,6 +20,7 @@ from .protocol import (
     DEFAULT_PORT,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameError,
     decode_frame,
     encode_frame,
@@ -28,6 +29,8 @@ from .protocol import (
     ping_frame,
     stats_frame,
     submit_frame,
+    subscribe_frame,
+    unsubscribe_frame,
 )
 from .server import DEFAULT_QUEUE_LIMIT, ExperimentServer, ServerThread
 
@@ -39,6 +42,7 @@ __all__ = [
     "JobsFailed",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "ServeClient",
     "ServeError",
     "ServeUnavailable",
@@ -50,4 +54,6 @@ __all__ = [
     "ping_frame",
     "stats_frame",
     "submit_frame",
+    "subscribe_frame",
+    "unsubscribe_frame",
 ]

@@ -15,7 +15,18 @@ protocol (:mod:`repro.serve.protocol`); the server
   bounded retry, crashed-pool rebuild and graceful thread fallback), and
 * applies **back-pressure**: a submit that would push the pending queue
   past ``queue_limit`` is rejected with a polite ``retry`` frame and a
-  ``retry_after`` estimate instead of growing memory without bound.
+  ``retry_after`` estimate instead of growing memory without bound, and
+* **streams telemetry** (protocol v2): a ``subscribe`` frame starts a
+  periodic ``window`` stream — server metrics snapshots, live
+  :class:`~repro.obs.timeseries.SimSampler` rows and event-ring deltas
+  fanned in through the process's :class:`~repro.obs.stream.TelemetryHub`
+  — to any number of concurrent clients.  Each subscriber gets a bounded
+  share of its connection's outbox: a window that would push past the
+  subscriber's ``max_queue`` is dropped *and counted*, and sampler/event
+  rows that age out of the hub rings before a slow subscriber catches up
+  are reported as ``samples_lost``/``events_lost``.  Nothing about a v1
+  client changes: stream frames only ever go to connections that sent a
+  ``subscribe``.
 
 Per-job progress streams to every subscribed client as server-sent
 ``job`` events; a ``complete`` frame carries a standard run manifest
@@ -32,6 +43,7 @@ import asyncio
 import concurrent.futures
 import contextlib
 import multiprocessing
+import os
 from concurrent.futures.process import BrokenProcessPool
 import threading
 import time
@@ -45,12 +57,16 @@ from ..exec.options import auto_jobs, get_options
 from ..exec.scheduler import InflightTable, dedupe_specs
 from ..exec.telemetry import JobRecord, RunReport
 from ..exec.worker import run_job
+from .. import obs
+from ..obs import tracectx
 from ..obs.log import get_logger
 from ..obs.registry import MetricsRegistry, WALL_TIME_BUCKETS_S
+from ..obs.stream import TelemetryHub, install_hub
 from ..sim.results import SimulationResult
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameError,
     decode_frame,
     encode_frame,
@@ -68,6 +84,22 @@ HOT_RESULTS = 512
 #: The worker-crash budget: after this many broken process pools the
 #: ``auto`` executor stops re-forking and degrades to threads.
 _BROKEN_POOL_LIMIT = 2
+
+#: Clamp bounds for subscriber-requested stream intervals, in seconds.
+#: Below the floor a chatty subscriber becomes a busy loop; above the
+#: ceiling the stream is indistinguishable from polling ``stats``.
+MIN_STREAM_INTERVAL = 0.05
+MAX_STREAM_INTERVAL = 60.0
+
+#: Per-subscriber outbox bound, in frames: a window is dropped (and
+#: counted) rather than queued when the connection's outbox already holds
+#: this many unsent frames.  Subscribers may request their own bound
+#: within [1, MAX_STREAM_QUEUE].
+DEFAULT_STREAM_QUEUE = 16
+MAX_STREAM_QUEUE = 1024
+
+#: Broadcaster sleep when nobody is subscribed.
+_IDLE_STREAM_TICK = 0.25
 
 log = get_logger("serve")
 
@@ -139,6 +171,7 @@ class _Submission:
             jobs_requested=server.jobs, workers=server.jobs, mode="serve",
             jobs_source=server.jobs_source, duplicates=duplicates,
             sim_path=get_options().sim_path,
+            run_id=server.run_id,
         )
         self.total = total
         self.started = time.monotonic()
@@ -170,6 +203,46 @@ class _Submission:
             "id": self.request_id,
             "manifest": self.report.to_dict(),
         })
+
+
+class _StreamSubscriber:
+    """One live telemetry stream (``subscribe`` frame) on a connection.
+
+    Pacing and loss semantics: a window that would overfill the
+    connection's outbox is *dropped and counted* but the ring cursors do
+    not advance — a slow subscriber sees data late, not missing.  Rows the
+    hub rings evicted before the cursor caught up (the subscriber fell
+    more than a ring capacity behind) are counted as ``samples_lost`` /
+    ``events_lost`` in every subsequent window.
+
+    Cursors start at the rings' current totals: a new subscriber streams
+    what happens from now on, not history.
+    """
+
+    __slots__ = ("conn", "sub_id", "interval", "max_queue", "seq",
+                 "windows_dropped", "samples_lost", "events_lost",
+                 "sample_cursor", "event_cursor", "next_due")
+
+    def __init__(self, conn: _Connection, sub_id: str, interval: float,
+                 max_queue: int, now: float, hub: TelemetryHub) -> None:
+        self.conn = conn
+        self.sub_id = sub_id
+        self.interval = interval
+        self.max_queue = max_queue
+        self.seq = 0
+        self.windows_dropped = 0
+        self.samples_lost = 0
+        self.events_lost = 0
+        self.sample_cursor = hub.samples.total_recorded
+        self.event_cursor = hub.events.total_recorded
+        self.next_due = now
+
+    def drops(self) -> Dict[str, int]:
+        return {
+            "windows_dropped": self.windows_dropped,
+            "samples_lost": self.samples_lost,
+            "events_lost": self.events_lost,
+        }
 
 
 class ExperimentServer:
@@ -218,6 +291,17 @@ class ExperimentServer:
 
         self.registry = MetricsRegistry()
         self.inflight = InflightTable()
+        #: Trace-context identity of everything this server executes: the
+        #: run_id lands in served manifests, per-job obs artifacts (for
+        #: ``repro obs merge``) and every stream ``window`` frame.
+        self.run_id = tracectx.new_run_id("serve")
+        #: Live fan-in for sampler windows and rare events; installed
+        #: process-wide in :meth:`start`, drained by the broadcaster.
+        self.hub = TelemetryHub()
+        self._prev_hub: Optional[TelemetryHub] = None
+        self._prev_ctx: Optional[tracectx.TraceContext] = None
+        self._stream_subs: Dict[Tuple[str, str], _StreamSubscriber] = {}
+        self._broadcaster: Optional[asyncio.Task] = None
         self._subscribers: Dict[str, List[_Submission]] = {}
         self._queue: asyncio.Queue = asyncio.Queue()
         self._connections: Set[_Connection] = set()
@@ -241,6 +325,13 @@ class ExperimentServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self._dispatchers = [
             asyncio.create_task(self._dispatch_loop()) for _ in range(self.jobs)]
+        self._broadcaster = asyncio.create_task(self._stream_loop())
+        # Activate the server's trace context and telemetry hub *before*
+        # the first worker pool forks, so both propagate into workers (the
+        # env mirror additionally covers spawn-based pools).
+        self._prev_ctx = tracectx.activate(tracectx.TraceContext(
+            run_id=self.run_id, origin="serve", root_pid=os.getpid()))
+        self._prev_hub = install_hub(self.hub)
         if self.cache is not None:
             self.cache.sweep_tmp()
         self.registry.gauge("serve.queue_depth", fn=self._queue.qsize)
@@ -261,12 +352,21 @@ class ExperimentServer:
             self._server.close()
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
-        for task in self._dispatchers:
+        tasks = list(self._dispatchers)
+        if self._broadcaster is not None:
+            tasks.append(self._broadcaster)
+        for task in tasks:
             task.cancel()
-        for task in self._dispatchers:
+        for task in tasks:
             with contextlib.suppress(asyncio.CancelledError, Exception):
                 await task
         self._dispatchers = []
+        self._broadcaster = None
+        self._stream_subs.clear()
+        install_hub(self._prev_hub)
+        tracectx.activate(self._prev_ctx)
+        self._prev_hub = None
+        self._prev_ctx = None
         for conn in list(self._connections):
             conn.close()
         self._rebuild_executor(kill=False)
@@ -326,6 +426,9 @@ class ExperimentServer:
             # callback (task.exception() on the handler task) stays quiet
         finally:
             self._connections.discard(conn)
+            for key in [k for k, s in self._stream_subs.items()
+                        if s.conn is conn]:
+                del self._stream_subs[key]
             conn.close()
             await conn.wait_closed(drain_task)
 
@@ -337,6 +440,10 @@ class ExperimentServer:
             conn.send({"type": "stats", "stats": self.stats()})
         elif kind == "submit":
             self._handle_submit(conn, frame)
+        elif kind == "subscribe":
+            self._handle_subscribe(conn, frame)
+        elif kind == "unsubscribe":
+            self._handle_unsubscribe(conn, frame)
         else:
             self.registry.counter("serve.frames_rejected").inc()
             conn.send({"type": "error", "error": f"unknown frame type {kind!r}"})
@@ -445,6 +552,96 @@ class ExperimentServer:
             "serve.job_wall_time_s", bounds=WALL_TIME_BUCKETS_S).mean
         per_job = mean if mean > 0 else 1.0
         return max(0.1, min(60.0, backlog * per_job / max(1, self.jobs)))
+
+    # ------------------------------------------------------------------
+    # Telemetry streaming (protocol v2)
+    # ------------------------------------------------------------------
+    def _handle_subscribe(self, conn: _Connection, frame: Dict[str, object]) -> None:
+        if frame.get("v") != PROTOCOL_VERSION:
+            # v1 never defined subscribe; an explicit error beats a stream
+            # of frames the client does not understand.
+            self.registry.counter("serve.frames_rejected").inc()
+            conn.send({"type": "error", "id": frame.get("id"),
+                       "error": "subscribe requires protocol v2"})
+            return
+        sub_id = str(frame.get("id") or f"sub-{next(self._request_ids)}")
+        try:
+            interval = float(frame.get("interval", 1.0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            interval = 1.0
+        interval = min(max(interval, MIN_STREAM_INTERVAL), MAX_STREAM_INTERVAL)
+        try:
+            max_queue = int(frame.get("max_queue", DEFAULT_STREAM_QUEUE))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            max_queue = DEFAULT_STREAM_QUEUE
+        max_queue = min(max(max_queue, 1), MAX_STREAM_QUEUE)
+        sub = _StreamSubscriber(conn, sub_id, interval, max_queue,
+                                time.monotonic(), self.hub)
+        self._stream_subs[(conn.name, sub_id)] = sub
+        self.registry.counter("serve.stream_subscribes").inc()
+        conn.send({
+            "type": "subscribed", "v": PROTOCOL_VERSION, "id": sub_id,
+            "run_id": self.run_id, "interval": interval,
+            "max_queue": max_queue,
+        })
+        # First window goes out immediately — a tail should show *something*
+        # before its first full interval elapses.
+        self._send_window(sub, time.monotonic())
+
+    def _handle_unsubscribe(self, conn: _Connection, frame: Dict[str, object]) -> None:
+        sub_id = str(frame.get("id", ""))
+        sub = self._stream_subs.pop((conn.name, sub_id), None)
+        if sub is None:
+            conn.send({"type": "error", "id": sub_id,
+                       "error": f"no active stream {sub_id!r}"})
+            return
+        conn.send({"type": "unsubscribed", "id": sub_id,
+                   "drops": sub.drops()})
+
+    async def _stream_loop(self) -> None:
+        """Broadcaster: wake for the earliest-due subscriber, send windows."""
+        while True:
+            now = time.monotonic()
+            for key, sub in list(self._stream_subs.items()):
+                if not sub.conn.alive:
+                    self._stream_subs.pop(key, None)
+                    continue
+                if now >= sub.next_due:
+                    self._send_window(sub, now)
+            delays = [max(0.02, s.next_due - time.monotonic())
+                      for s in self._stream_subs.values()]
+            await asyncio.sleep(min(delays) if delays else _IDLE_STREAM_TICK)
+
+    def _send_window(self, sub: _StreamSubscriber, now: float) -> None:
+        sub.next_due = now + sub.interval
+        if sub.conn.outbox.qsize() >= sub.max_queue:
+            # The subscriber's reader is behind; dropping here (without
+            # advancing cursors) bounds memory while keeping data intact.
+            sub.windows_dropped += 1
+            self.registry.counter("serve.stream_windows_dropped").inc()
+            return
+        samples, samples_lost, sub.sample_cursor = \
+            self.hub.tail_samples(sub.sample_cursor)
+        events, events_lost, sub.event_cursor = \
+            self.hub.tail_events(sub.event_cursor)
+        if samples_lost or events_lost:
+            sub.samples_lost += samples_lost
+            sub.events_lost += events_lost
+            self.registry.counter("serve.stream_rows_lost").inc(
+                samples_lost + events_lost)
+        sub.seq += 1
+        sub.conn.send({
+            "type": "window", "v": PROTOCOL_VERSION, "id": sub.sub_id,
+            "seq": sub.seq, "run_id": self.run_id,
+            "at_s": round(now - self._started, 3),
+            "interval": sub.interval,
+            "metrics": self.registry.snapshot(),
+            "obs_metrics": obs.registry().snapshot(),
+            "samples": samples,
+            "events": events,
+            "drops": dict(sub.drops(), ring=self.hub.summary()),
+        })
+        self.registry.counter("serve.stream_windows_sent").inc()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -589,6 +786,8 @@ class ExperimentServer:
         return {
             "server": "repro.serve/1",
             "v": PROTOCOL_VERSION,
+            "supported_versions": list(SUPPORTED_VERSIONS),
+            "run_id": self.run_id,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "workers": self.jobs,
             "executor": self._executor_kind_active,
@@ -596,10 +795,16 @@ class ExperimentServer:
             "queue_limit": self.queue_limit,
             "inflight": len(self.inflight),
             "connections": len(self._connections),
+            "stream_subscribers": len(self._stream_subs),
             "cache_hit_ratio": round(hits / lookups, 4) if lookups else 0.0,
             "dedup_led": self.inflight.led,
             "dedup_joined": self.inflight.joined,
             "counters": registry.snapshot(),
+            # The full typed dump (counter/gauge/histogram structure), not
+            # just the flat snapshot — mirrors what the stats artifact
+            # persists so one `stats` request is a complete picture.
+            "registry": registry.to_dict(),
+            "telemetry": self.hub.summary(),
             "job_wall_time_s": {
                 "total": histogram.total,
                 "mean": round(histogram.mean, 4),

@@ -12,6 +12,7 @@ The two contracts the tentpole promises:
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -185,11 +186,19 @@ def test_runner_emits_spans_metrics_and_trace(tmp_path, monkeypatch):
     # Metrics snapshot rode into the manifest.
     assert report.metrics["exec.jobs_total"] == 1.0
     assert "exec.job_wall_time_s" in report.metrics
-    # Chrome trace sibling is a valid JSON array of complete events.
+    # The run got a trace-context identity, recorded in the manifest.
+    assert report.run_id and report.run_id.startswith("run-")
+    # Merged Chrome-trace sibling: complete events plus metadata events
+    # carrying the run_id and per-process names.
+    assert report.trace == report.manifest_path.with_suffix(".trace.json").name
     trace_path = report.manifest_path.with_suffix(".trace.json")
     events = json.loads(trace_path.read_text())
     assert isinstance(events, list) and events
-    assert all(e["ph"] == "X" for e in events)
+    assert {e["ph"] for e in events} <= {"X", "M"}
+    assert any(e["ph"] == "X" for e in events)
+    run_meta = [e for e in events
+                if e["ph"] == "M" and e["name"] == "run_id"]
+    assert run_meta and run_meta[0]["args"]["run_id"] == report.run_id
     # Per-job artifacts landed under <cache>/obs/<hash16>/.
     jobs = list_jobs(obs_root(tmp_path))
     assert len(jobs) == 1
@@ -202,6 +211,56 @@ def test_runner_emits_spans_metrics_and_trace(tmp_path, monkeypatch):
     assert {"trace_gen", "simulate"} <= job_span_names
     job_trace = json.loads((jobs[0] / "spans.trace.json").read_text())
     assert any(e["name"] == "sim.run" for e in job_trace)
+
+
+def test_merged_trace_spans_worker_processes(tmp_path, monkeypatch):
+    """A --jobs 2 sweep merges into ONE trace holding every process's spans.
+
+    The orchestrator's spans carry its own pid; each job's spans carry the
+    pid of the pool worker that executed it; and a single run_id metadata
+    event ties them together — the cross-process propagation contract.
+    """
+    monkeypatch.setenv("REPRO_OBS", "1")
+    monkeypatch.setenv("REPRO_OBS_INTERVAL", "50")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    specs = [JobSpec(design=design, workload="mlp", num_cores=1,
+                     trace_length=64, config=small_test_config(num_cores=1))
+             for design in ("np", "morphctr", "cosmos")]
+    runner = ParallelRunner(jobs=2, cache=ResultCache(tmp_path / "results"),
+                            manifest_dir=tmp_path / "manifests", ticker=False)
+    results = runner.run(specs)
+    assert len(results) == 3
+    report = runner.report
+    if report.mode not in ("pool", "pool+serial"):
+        pytest.skip(f"no process pool in this environment ({report.mode})")
+
+    trace_path = report.manifest_path.with_suffix(".trace.json")
+    assert report.trace == trace_path.name
+    events = json.loads(trace_path.read_text())
+    complete = [e for e in events if e["ph"] == "X"]
+    orchestrator_pid = os.getpid()
+    worker_pids = {e["pid"] for e in complete} - {orchestrator_pid}
+    # Orchestrator spans plus at least one distinct worker process.
+    assert orchestrator_pid in {e["pid"] for e in complete}
+    assert worker_pids, "no spans attributed to worker processes"
+    # One run_id names the whole merged trace.
+    run_meta = [e for e in events if e["ph"] == "M" and e["name"] == "run_id"]
+    assert len(run_meta) == 1
+    assert run_meta[0]["args"]["run_id"] == report.run_id
+    # Every worker pid got a process_name metadata event.
+    named = {e["pid"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"
+             and str(e["args"]["name"]).startswith("worker pid")}
+    assert named == worker_pids
+    # Job spans are labelled with the run for trace-viewer filtering.
+    worker_spans = [e for e in complete if e["pid"] in worker_pids]
+    assert all(e["args"]["run_id"] == report.run_id for e in worker_spans)
+    # And the job artifacts themselves recorded the propagated identity.
+    for job in list_jobs(obs_root(tmp_path)):
+        meta = load_job_meta(job)
+        assert meta["run_id"] == report.run_id
+        assert meta["origin"] == "exec.run"
+        assert meta["pid"] != orchestrator_pid
 
 
 def test_runner_writes_nothing_when_disabled(tmp_path, monkeypatch):

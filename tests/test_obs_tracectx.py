@@ -1,0 +1,218 @@
+"""Unit tests for cross-process trace context, the telemetry hub and the
+run-level Chrome-trace merge."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import obs
+from repro.obs import tracectx
+from repro.obs.artifacts import obs_root, write_job_artifacts
+from repro.obs.merge import merge_events, merge_manifest, spans_to_events
+from repro.obs.stream import TelemetryHub, tail_since
+from repro.obs.tracectx import TRACE_ENV, TraceContext, new_run_id
+
+
+# ----------------------------------------------------------------------
+# Trace context
+# ----------------------------------------------------------------------
+def test_run_ids_are_unique_and_prefixed():
+    ids = {new_run_id() for _ in range(32)}
+    assert len(ids) == 32
+    assert all(i.startswith("run-") for i in ids)
+    assert new_run_id("serve").startswith("serve-")
+
+
+def test_context_round_trips_through_json():
+    ctx = TraceContext(run_id="run-x", origin="serve", root_pid=42)
+    assert TraceContext.from_json(ctx.to_json()) == ctx
+    assert TraceContext.from_json("not json") is None
+    assert TraceContext.from_json(json.dumps({"origin": "serve"})) is None
+
+
+def test_activate_mirrors_into_environment():
+    ctx = TraceContext(run_id="run-env", root_pid=1)
+    previous = tracectx.activate(ctx)
+    try:
+        assert previous is None
+        assert tracectx.current() == ctx
+        assert TraceContext.from_json(os.environ[TRACE_ENV]) == ctx
+    finally:
+        tracectx.activate(previous)
+    assert tracectx.current() is None
+    assert TRACE_ENV not in os.environ
+
+
+def test_current_falls_back_to_environment(monkeypatch):
+    ctx = TraceContext(run_id="run-spawned", origin="exec.run", root_pid=7)
+    monkeypatch.setenv(TRACE_ENV, ctx.to_json())
+    assert tracectx.current() == ctx
+
+
+def test_propagated_accepts_none_and_restores():
+    with tracectx.propagated(None):
+        assert tracectx.current() is None
+    outer = TraceContext(run_id="run-outer")
+    tracectx.activate(outer)
+    try:
+        with tracectx.propagated(TraceContext(run_id="run-inner")):
+            assert tracectx.current().run_id == "run-inner"
+        assert tracectx.current() == outer
+    finally:
+        tracectx.reset()
+
+
+def test_job_annotations_stamp_pid_and_run():
+    assert tracectx.job_annotations() == {"pid": os.getpid()}
+    with tracectx.propagated(TraceContext(run_id="run-a", origin="serve")):
+        fields = tracectx.job_annotations()
+    assert fields == {"pid": os.getpid(), "run_id": "run-a", "origin": "serve"}
+
+
+def test_obs_reset_clears_context_and_hub():
+    tracectx.activate(TraceContext(run_id="run-stale"))
+    obs.install_hub(TelemetryHub())
+    obs.reset()
+    assert tracectx.current() is None
+    assert obs.active_hub() is None
+
+
+# ----------------------------------------------------------------------
+# Telemetry hub
+# ----------------------------------------------------------------------
+def test_hub_sanitizes_and_counts():
+    hub = TelemetryHub(sample_capacity=4)
+    hub.publish_sample("cosmos", "zipf", at=1000,
+                       values={"rate": 0.5, "bad": float("nan")})
+    rows, lost, cursor = hub.tail_samples(0)
+    assert lost == 0 and cursor == 1
+    assert rows[0]["values"] == {"rate": 0.5, "bad": None}
+    hub.publish_event({"kind": "ctr_overflow", "at": 5, "depth": float("inf")})
+    events, _, _ = hub.tail_events(0)
+    assert events[0]["kind"] == "ctr_overflow"
+    assert events[0]["depth"] is None
+
+
+def test_tail_since_counts_evictions_as_lost():
+    hub = TelemetryHub(sample_capacity=2)
+    for at in range(5):
+        hub.publish_sample("d", "w", at=at, values={})
+    rows, lost, cursor = hub.tail_samples(0)
+    assert [r["at"] for r in rows] == [3, 4]
+    assert lost == 3 and cursor == 5
+    # Caught-up consumer: nothing new, nothing lost.
+    assert hub.tail_samples(cursor) == ([], 0, 5)
+
+
+def test_tail_since_partial_catchup():
+    ring = TelemetryHub(sample_capacity=8).samples
+    for at in range(4):
+        ring.record("sample", at=at)
+    rows, lost, cursor = tail_since(ring, 2)
+    assert [r["at"] for r in rows] == [2, 3]
+    assert lost == 0 and cursor == 4
+
+
+def test_sampler_publishes_into_active_hub(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "1")
+    monkeypatch.setenv("REPRO_OBS_INTERVAL", "500")
+    from repro.sim.config import small_test_config
+    from repro.sim.simulator import Simulator, build_design
+    from repro.workloads.micro import zipf_trace
+
+    hub = TelemetryHub()
+    obs.install_hub(hub)
+    try:
+        config = small_test_config(num_cores=1)
+        trace = zipf_trace(n=2000, seed=7, write_fraction=0.4)
+        simulator = Simulator(build_design("morphctr", config), config,
+                              workload="zipf")
+        simulator.run(trace.arrays())
+    finally:
+        obs.install_hub(None)
+    rows, lost, _ = hub.tail_samples(0)
+    assert lost == 0
+    assert [r["at"] for r in rows] == [500, 1000, 1500, 2000]
+    assert all(r["design"] == "morphctr" and r["workload"] == "zipf"
+               for r in rows)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace merge
+# ----------------------------------------------------------------------
+def _manifest_payload(run_id, jobs):
+    return {
+        "manifest_version": 2,
+        "run_id": run_id,
+        "pid": 1000,
+        "spans": {
+            "name": "exec.run",
+            "total_s": 1.0,
+            "spans": [{"name": "execute", "start_s": 0.0, "duration_s": 1.0,
+                       "meta": {}, "children": []}],
+        },
+        "jobs": jobs,
+    }
+
+
+def _write_job(root, job_hash, run_id, pid):
+    recorder = obs.SpanRecorder("job x")
+    with obs.recording(recorder):
+        with obs.span("simulate"):
+            pass
+    meta = {"design": "np", "workload": "w", "pid": pid}
+    if run_id is not None:
+        meta["run_id"] = run_id
+    written = write_job_artifacts(obs_root(root), job_hash,
+                                  recorder=recorder, meta=meta)
+    # Rewrite the trace with a controlled pid (the artifact recorded the
+    # test process's own pid at export time).
+    events = json.loads(written["trace"].read_text())
+    for event in events:
+        event["pid"] = pid
+    written["trace"].write_text(json.dumps(events))
+
+
+def test_merge_attributes_jobs_to_worker_pids(tmp_path):
+    run_id = "run-merge"
+    _write_job(tmp_path, "a" * 64, run_id, pid=2001)
+    _write_job(tmp_path, "b" * 64, run_id, pid=2002)
+    _write_job(tmp_path, "c" * 64, "run-other", pid=2003)  # foreign run
+    jobs = [{"job_hash": h, "design": "np", "workload": "w", "status": "ok"}
+            for h in ("a" * 64, "b" * 64, "c" * 64)]
+    events = merge_events(_manifest_payload(run_id, jobs), tmp_path)
+
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["pid"] for e in complete} == {1000, 2001, 2002}
+    run_meta = [e for e in meta if e["name"] == "run_id"]
+    assert run_meta[0]["args"]["run_id"] == run_id
+    names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+    assert "worker pid 2001" in names and "worker pid 2002" in names
+    # Job spans carry their run and job labels for trace-viewer filtering.
+    job_events = [e for e in complete if e["pid"] != 1000]
+    assert all(e["args"]["run_id"] == run_id for e in job_events)
+
+
+def test_merge_manifest_writes_sibling_and_trace_key(tmp_path):
+    run_id = "run-file"
+    _write_job(tmp_path, "d" * 64, run_id, pid=3001)
+    manifest = tmp_path / "manifests" / "run-test.json"
+    manifest.parent.mkdir(parents=True)
+    manifest.write_text(json.dumps(_manifest_payload(run_id, [
+        {"job_hash": "d" * 64, "design": "np", "workload": "w"}])))
+    trace_path, count = merge_manifest(manifest, cache_root=tmp_path)
+    assert trace_path == manifest.with_suffix(".trace.json")
+    assert count == len(json.loads(trace_path.read_text()))
+    assert json.loads(manifest.read_text())["trace"] == trace_path.name
+
+
+def test_spans_to_events_flattens_children():
+    tree = [{"name": "parent", "start_s": 0.0, "duration_s": 2.0, "meta": {},
+             "children": [{"name": "child", "start_s": 0.5, "duration_s": 1.0,
+                           "meta": {"k": "v"}, "children": []}]}]
+    events = spans_to_events(tree, pid=9)
+    assert [e["name"] for e in events] == ["parent", "child"]
+    assert all(e["pid"] == 9 and e["ph"] == "X" for e in events)
+    assert events[1]["args"] == {"k": "v"}

@@ -146,7 +146,9 @@ def test_parse_submit_round_trip():
 def test_parse_submit_rejections():
     frame = submit_frame([make_job()], request_id="r")
     with pytest.raises(FrameError, match="version"):
-        parse_submit({**frame, "v": 2})
+        parse_submit({**frame, "v": 3})
+    # v1 submits are still accepted — the v2 protocol is a strict superset.
+    assert len(parse_submit({**frame, "v": 1})) == 1
     with pytest.raises(FrameError, match="specs"):
         parse_submit({**frame, "specs": []})
     with pytest.raises(FrameError, match="specs"):

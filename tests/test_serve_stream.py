@@ -1,0 +1,346 @@
+"""Telemetry streaming over the experiment service (protocol v2).
+
+Covers the three contracts of the stream layer: live ``window`` delivery
+to subscribed clients over real TCP, bounded per-subscriber queues with
+explicit drop/loss accounting under a slow reader, and strict backward
+compatibility — a v1 client submitting to a v2 server gets byte-identical
+result frames and never sees a v2-only frame.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import obs
+from repro.exec import JobSpec, ResultCache
+from repro.obs.stream import TelemetryHub
+from repro.serve import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ExperimentServer,
+    ServeClient,
+    ServeError,
+    ServerThread,
+    encode_frame,
+    subscribe_frame,
+)
+from repro.serve.server import _StreamSubscriber
+from repro.sim.config import small_test_config
+from repro.sim.simulator import simulate
+
+
+def make_job(**overrides):
+    base = dict(design="np", workload="dfs", config=small_test_config(),
+                num_cores=1, trace_length=400, graph_scale=0.02)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def tiny_result(dfs_trace):
+    return simulate("np", dfs_trace, small_test_config(num_cores=1),
+                    workload="dfs")
+
+
+# ----------------------------------------------------------------------
+# Raw-socket helper (protocol-level tests)
+# ----------------------------------------------------------------------
+def _exchange(port, frames, stop_types, timeout=30, limit=500):
+    """Send ``frames``, collect replies until a ``stop_types`` frame."""
+    received = []
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        reader = sock.makefile("rb")
+        hello = json.loads(reader.readline())
+        for frame in frames:
+            sock.sendall(encode_frame(frame))
+        for _ in range(limit):
+            line = reader.readline()
+            if not line:
+                break
+            frame = json.loads(line)
+            received.append(frame)
+            if frame.get("type") in stop_types:
+                break
+    return hello, received
+
+
+# ----------------------------------------------------------------------
+# Live window delivery over TCP
+# ----------------------------------------------------------------------
+def test_subscriber_receives_metrics_samples_and_events(tiny_result, tmp_path):
+    def fn(spec):
+        hub = obs.active_hub()  # the server installed it at start()
+        hub.publish_sample("np", "dfs", at=100, values={"rate": 1.0})
+        hub.publish_event({"kind": "test_event", "at": 5, "detail": "x"})
+        return tiny_result
+
+    server = ExperimentServer(cache=ResultCache(tmp_path / "results"),
+                              jobs=1, executor="thread", fn=fn)
+    with ServerThread(server):
+        with ServeClient(port=server.port, timeout=30) as tailer:
+            stream = tailer.tail(interval=0.1, max_windows=10)
+            first = next(stream)  # subscribe ack + immediate first window
+            with ServeClient(port=server.port, timeout=60) as submitter:
+                submitter.submit([make_job()])
+            windows = [first] + list(stream)
+        assert server.run_id.startswith("serve-")
+
+    assert len(windows) == 10
+    assert [w["seq"] for w in windows] == list(range(1, 11))
+    assert all(w["run_id"] == server.run_id for w in windows)
+    assert all(w["v"] == PROTOCOL_VERSION for w in windows)
+    # Metrics snapshots ride in every window; the submit showed up.
+    assert windows[-1]["metrics"]["serve.jobs_submitted"] >= 1
+    samples = [row for w in windows for row in w["samples"]]
+    assert any(row["values"] == {"rate": 1.0} for row in samples)
+    events = [e for w in windows for e in w["events"]]
+    assert any(e["kind"] == "test_event" and e["detail"] == "x"
+               for e in events)
+    # Nothing dropped for a healthy reader.
+    assert all(w["drops"]["windows_dropped"] == 0 for w in windows)
+    assert all(w["drops"]["samples_lost"] == 0 for w in windows)
+
+
+def test_two_concurrent_subscribers_both_stream(tiny_result, tmp_path):
+    server = ExperimentServer(cache=None, jobs=1, executor="thread",
+                              fn=lambda spec: tiny_result)
+    collected = {}
+
+    def tail(label):
+        with ServeClient(port=server.port, timeout=30) as client:
+            collected[label] = list(client.tail(interval=0.05, max_windows=3))
+
+    with ServerThread(server):
+        threads = [threading.Thread(target=tail, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        with ServeClient(port=server.port) as probe:
+            stats = probe.stats()
+    for label in range(2):
+        assert [w["seq"] for w in collected[label]] == [1, 2, 3]
+    assert stats["counters"]["serve.stream_subscribes"] == 2
+    assert stats["counters"]["serve.stream_windows_sent"] >= 6
+
+
+def test_unsubscribe_acks_with_drop_totals(tiny_result):
+    server = ExperimentServer(cache=None, jobs=1, executor="thread",
+                              fn=lambda spec: tiny_result)
+    with ServerThread(server):
+        _, frames = _exchange(server.port, [
+            subscribe_frame("s1", interval=0.05),
+            {"v": PROTOCOL_VERSION, "type": "unsubscribe", "id": "s1"},
+        ], stop_types=("unsubscribed",))
+    kinds = [f["type"] for f in frames]
+    assert kinds[0] == "subscribed"
+    assert frames[0]["id"] == "s1" and frames[0]["run_id"] == server.run_id
+    assert "window" in kinds  # the immediate first window
+    ack = frames[-1]
+    assert ack["type"] == "unsubscribed"
+    assert ack["drops"] == {"windows_dropped": 0, "samples_lost": 0,
+                            "events_lost": 0}
+    # Unsubscribing an unknown stream is an error, not a crash.
+    with ServerThread(server2 := ExperimentServer(
+            cache=None, jobs=1, executor="thread",
+            fn=lambda spec: tiny_result)):
+        _, frames = _exchange(server2.port, [
+            {"v": PROTOCOL_VERSION, "type": "unsubscribe", "id": "ghost"},
+        ], stop_types=("error",))
+    assert "no active stream" in frames[-1]["error"]
+
+
+def test_subscribe_requires_v2():
+    server = ExperimentServer(cache=None, jobs=1, executor="thread",
+                              fn=lambda spec: None)
+    with ServerThread(server):
+        _, frames = _exchange(server.port, [
+            {"v": 1, "type": "subscribe", "id": "old"},
+        ], stop_types=("error",))
+    assert "protocol v2" in frames[-1]["error"]
+
+
+# ----------------------------------------------------------------------
+# Back-pressure: bounded queues, explicit drop accounting
+# ----------------------------------------------------------------------
+class _FakeOutbox:
+    def __init__(self):
+        self.frames = []
+        self.backlog = 0  # simulated unsent frames of a slow reader
+
+    def qsize(self):
+        return self.backlog
+
+
+class _FakeConn:
+    name = "fake-conn"
+
+    def __init__(self):
+        self.outbox = _FakeOutbox()
+        self.alive = True
+
+    def send(self, frame):
+        self.outbox.frames.append(frame)
+
+
+def test_slow_subscriber_drops_windows_but_not_data():
+    server = ExperimentServer(cache=None, jobs=1, executor="thread")
+    server.hub = TelemetryHub(sample_capacity=64)
+    conn = _FakeConn()
+    sub = _StreamSubscriber(conn, "slow", interval=0.1, max_queue=2,
+                            now=0.0, hub=server.hub)
+    for at in range(3):
+        server.hub.publish_sample("d", "w", at=at, values={})
+
+    # Reader is at the bound: the window is dropped, cursors hold still.
+    conn.outbox.backlog = 2
+    server._send_window(sub, now=1.0)
+    assert conn.outbox.frames == []
+    assert sub.windows_dropped == 1 and sub.sample_cursor == 0
+    assert server.registry.counter("serve.stream_windows_dropped").value == 1
+
+    # Reader catches up: the next window delivers the *delayed* rows.
+    conn.outbox.backlog = 0
+    server._send_window(sub, now=2.0)
+    window = conn.outbox.frames[-1]
+    assert [row["at"] for row in window["samples"]] == [0, 1, 2]
+    assert window["drops"]["windows_dropped"] == 1
+    assert window["drops"]["samples_lost"] == 0
+
+
+def test_ring_eviction_is_counted_as_lost():
+    server = ExperimentServer(cache=None, jobs=1, executor="thread")
+    server.hub = TelemetryHub(sample_capacity=2)
+    conn = _FakeConn()
+    sub = _StreamSubscriber(conn, "lossy", interval=0.1, max_queue=4,
+                            now=0.0, hub=server.hub)
+    # Fall 5 samples behind a 2-slot ring: 3 are gone forever.
+    for at in range(5):
+        server.hub.publish_sample("d", "w", at=at, values={})
+    server._send_window(sub, now=1.0)
+    window = conn.outbox.frames[-1]
+    assert [row["at"] for row in window["samples"]] == [3, 4]
+    assert window["drops"]["samples_lost"] == 3
+    assert sub.sample_cursor == 5
+    assert server.registry.counter("serve.stream_rows_lost").value == 3
+    # The loss total is cumulative, not re-counted.
+    server._send_window(sub, now=2.0)
+    assert conn.outbox.frames[-1]["drops"]["samples_lost"] == 3
+
+
+def test_dead_connection_is_pruned():
+    server = ExperimentServer(cache=None, jobs=1, executor="thread")
+    conn = _FakeConn()
+    sub = _StreamSubscriber(conn, "dead", interval=0.1, max_queue=4,
+                            now=0.0, hub=server.hub)
+    server._stream_subs[(conn.name, "dead")] = sub
+    conn.alive = False
+    import asyncio
+
+    async def one_tick():
+        task = asyncio.ensure_future(server._stream_loop())
+        await asyncio.sleep(0.05)
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    asyncio.run(one_tick())
+    assert server._stream_subs == {}
+
+
+# ----------------------------------------------------------------------
+# v1 compatibility: byte-identical results, no unsolicited v2 frames
+# ----------------------------------------------------------------------
+V1_FRAME_TYPES = {"hello", "accepted", "job", "complete", "retry", "stats",
+                  "pong", "error"}
+
+
+def test_v1_client_gets_byte_identical_results(tiny_result, tmp_path):
+    spec = make_job()
+    cache = ResultCache(tmp_path / "results")
+    assert cache.put(spec, tiny_result)  # warm: replies are deterministic
+    server = ExperimentServer(cache=cache, jobs=1, executor="thread",
+                              fn=lambda s: tiny_result)
+
+    def submit_with_version(version):
+        _, frames = _exchange(server.port, [
+            {"v": version, "type": "submit", "id": "req",
+             "specs": [spec.to_wire()]},
+        ], stop_types=("complete", "error"))
+        return frames
+
+    with ServerThread(server):
+        v1_frames = submit_with_version(1)
+        v2_frames = submit_with_version(2)
+        unsupported = submit_with_version(3)
+
+    assert (1, 2) == SUPPORTED_VERSIONS
+    # The v1 conversation only ever contains v1-era frame types.
+    assert {f["type"] for f in v1_frames} <= V1_FRAME_TYPES
+    # Byte-for-byte identical replies for v1 and v2 submits (modulo the
+    # one genuinely nondeterministic field, the run's wall time).
+    assert len(v1_frames) == len(v2_frames)
+    for old, new in zip(v1_frames, v2_frames):
+        for frame in (old, new):
+            if frame["type"] == "complete":
+                frame["manifest"]["totals"]["wall_time_s"] = 0.0
+        assert encode_frame(old) == encode_frame(new)
+    job_frames = [f for f in v1_frames if f["type"] == "job"]
+    assert job_frames and job_frames[0]["event"] == "cached"
+    assert job_frames[0]["result"] == tiny_result.to_dict()
+    # A version the server does not speak is rejected, not guessed at.
+    assert unsupported[-1]["type"] == "error"
+    assert "version" in unsupported[-1]["error"]
+
+
+def test_v1_client_coexists_with_v2_subscriber(tiny_result, tmp_path):
+    spec = make_job()
+    cache = ResultCache(tmp_path / "results")
+    assert cache.put(spec, tiny_result)
+    server = ExperimentServer(cache=cache, jobs=1, executor="thread",
+                              fn=lambda s: tiny_result)
+    with ServerThread(server):
+        with ServeClient(port=server.port, timeout=30) as tailer:
+            stream = tailer.tail(interval=0.05, max_windows=6)
+            next(stream)  # stream is live on the v2 connection
+            _, v1_frames = _exchange(server.port, [
+                {"v": 1, "type": "submit", "id": "legacy",
+                 "specs": [spec.to_wire()]},
+            ], stop_types=("complete", "error"))
+            list(stream)
+    # The concurrent stream leaked nothing into the v1 conversation.
+    assert {f["type"] for f in v1_frames} <= V1_FRAME_TYPES
+    assert v1_frames[-1]["type"] == "complete"
+
+
+def test_served_manifest_carries_run_id(tiny_result, tmp_path):
+    server = ExperimentServer(cache=None, jobs=1, executor="thread",
+                              fn=lambda s: tiny_result)
+    with ServerThread(server):
+        with ServeClient(port=server.port, timeout=30) as client:
+            _, manifest = client.submit([make_job()])
+            stats = client.stats()
+    assert manifest["run_id"] == server.run_id
+    assert stats["run_id"] == server.run_id
+    assert stats["supported_versions"] == [1, 2]
+    # Satellite: the stats reply embeds the full typed registry dump.
+    assert stats["registry"]["serve.jobs_executed"]["type"] == "counter"
+    assert stats["registry"]["serve.jobs_executed"]["value"] == 1
+    assert "telemetry" in stats and "samples" in stats["telemetry"]
+
+
+def test_tail_surfaces_server_refusal(tiny_result):
+    # A server that errors the subscription makes tail raise, not hang.
+    server = ExperimentServer(cache=None, jobs=1, executor="thread",
+                              fn=lambda s: tiny_result)
+    with ServerThread(server):
+        with ServeClient(port=server.port, timeout=10) as client:
+            client._send({"v": 1, "type": "subscribe", "id": "bad"})
+            with pytest.raises(ServeError, match="protocol v2"):
+                # Drain through the client's stream path.
+                list(client.tail(interval=0.05, max_windows=1))
