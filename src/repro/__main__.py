@@ -22,6 +22,7 @@ from typing import Callable, Dict
 from .bench import experiments
 from .bench.report import format_table
 from .workloads.graph_algos import GRAPH_WORKLOADS
+from .workloads.hammer import HAMMER_WORKLOADS
 from .workloads.ml import ML_WORKLOADS
 from .workloads.spec import SPEC_WORKLOADS
 
@@ -130,7 +131,10 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("designs:    ", ", ".join(DESIGNS))
     print(
         "workloads:  ",
-        ", ".join(list(GRAPH_WORKLOADS) + list(SPEC_WORKLOADS) + list(ML_WORKLOADS) + ["mlp"]),
+        ", ".join(
+            list(GRAPH_WORKLOADS) + list(SPEC_WORKLOADS) + list(ML_WORKLOADS)
+            + ["mlp"] + list(HAMMER_WORKLOADS)
+        ),
     )
     return 0
 

@@ -25,6 +25,7 @@ from ..sim.results import SimulationResult
 from ..sim.simulator import simulate
 from ..workloads.db import DB_WORKLOADS, generate_db_trace
 from ..workloads.graph_algos import GRAPH_WORKLOADS, generate_graph_trace
+from ..workloads.hammer import HAMMER_WORKLOADS, generate_hammer_trace
 from ..workloads.ml import ML_WORKLOADS, generate_ml_trace
 from ..workloads.spec import SPEC_WORKLOADS, generate_spec_trace
 from ..workloads.trace import Trace
@@ -136,6 +137,8 @@ def _generate(
         return generate_ml_trace(workload, num_cores=num_cores, max_accesses=length, **seeds)
     if workload in DB_WORKLOADS:
         return generate_db_trace(workload, num_cores=num_cores, max_accesses=length, **seeds)
+    if workload in HAMMER_WORKLOADS:
+        return generate_hammer_trace(workload, num_cores=num_cores, max_accesses=length, **seeds)
     raise ValueError(f"unknown workload {workload!r}")
 
 

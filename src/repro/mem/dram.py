@@ -121,6 +121,12 @@ class DramStats:
     #: Background 64B requests charged as bus occupancy only (page
     #: re-encryption): they never touch row buffers or latency sums.
     background_requests: int = 0
+    #: Activation-ledger resets: refresh windows that ended with at least
+    #: one recorded activation (tREFI-aligned; see ``activation_counts``).
+    act_window_resets: int = 0
+    #: Highest per-(channel, bank, row) activation count observed within
+    #: any single refresh window — the RowHammer pressure ceiling.
+    max_row_activations: int = 0
     #: Demand requests per channel.
     per_channel: Dict[int, int] = field(default_factory=dict)
     #: Data-bus occupancy cycles per channel (demand bursts + background).
@@ -130,6 +136,11 @@ class DramStats:
     def requests(self) -> int:
         """Total demand requests serviced."""
         return self.reads + self.writes
+
+    @property
+    def activations(self) -> int:
+        """Row activations (ACT commands) — one per row-buffer miss."""
+        return self.row_misses
 
     @property
     def busy_cycles(self) -> int:
@@ -165,6 +176,9 @@ class DramStats:
             "refresh_stalls": self.refresh_stalls,
             "turnarounds": self.turnarounds,
             "background_requests": self.background_requests,
+            "activations": self.activations,
+            "act_window_resets": self.act_window_resets,
+            "max_row_activations": self.max_row_activations,
             "per_channel": {str(k): v for k, v in sorted(self.per_channel.items())},
             "per_channel_busy": {
                 str(k): v for k, v in sorted(self.per_channel_busy.items())
@@ -239,6 +253,15 @@ class DramModel:
         self._util: List[int] = [0] * self.num_channels
         #: Round-robin cursor for background-occupancy distribution.
         self._background_cursor = 0
+        #: RowHammer activation ledger: per channel, the tREFI window the
+        #: ledger currently covers and a ``(bank, row) -> activations``
+        #: map for that window.  Reset whenever a request lands in a later
+        #: window (with ``refresh_interval=0`` there is a single window
+        #: that never resets).
+        self._act_window: List[int] = [0] * self.num_channels
+        self._act_counts: List[Dict[Tuple[int, int], int]] = [
+            {} for _ in range(self.num_channels)
+        ]
 
     # ------------------------------------------------------------------
     # Address mapping
@@ -304,10 +327,21 @@ class DramModel:
         # pays one tRFC.  Boundaries crossed while nothing was requested
         # are absorbed silently (refreshing an idle channel stalls nobody).
         interval = timings.refresh_interval
-        if interval > 0 and now >= self._next_refresh[channel]:
-            start += timings.refresh_cycles
-            stats.refresh_stalls += 1
-            self._next_refresh[channel] = (now // interval + 1) * interval
+        if interval > 0:
+            if now >= self._next_refresh[channel]:
+                start += timings.refresh_cycles
+                stats.refresh_stalls += 1
+                self._next_refresh[channel] = (now // interval + 1) * interval
+            # Activation ledger windows are tREFI-aligned: refresh rewrites
+            # every row, so disturbance pressure cannot carry across a
+            # boundary.  Counts never mix windows — the ledger is cleared
+            # the moment a request observes a different window.
+            window = now // interval
+            if window != self._act_window[channel]:
+                self._act_window[channel] = window
+                if self._act_counts[channel]:
+                    self._act_counts[channel].clear()
+                    stats.act_window_resets += 1
 
         # Utilisation-derived queueing: the previous window's measured bus
         # utilisation (in 1/1024 units) scales the maximum penalty.
@@ -340,6 +374,12 @@ class DramModel:
         else:
             stats.row_misses += 1
             self._open_rows[bank_index] = row
+            ledger = self._act_counts[channel]
+            key = (bank, row)
+            count = ledger.get(key, 0) + 1
+            ledger[key] = count
+            if count > stats.max_row_activations:
+                stats.max_row_activations = count
             service = (
                 timings.rp
                 + timings.rcd
@@ -393,6 +433,30 @@ class DramModel:
             if share:
                 busy[channel] = busy.get(channel, 0) + share * burst
         self._background_cursor = (cursor + extra) % channels
+
+    # ------------------------------------------------------------------
+    # Activation ledger (RowHammer accounting)
+    # ------------------------------------------------------------------
+    def activation_counts(self, channel: Optional[int] = None) -> Dict[Tuple[int, int, int], int]:
+        """Current-refresh-window activation counts.
+
+        Returns ``{(channel, bank, row): activations}`` for the window the
+        most recent request on each channel fell into.  A pure function of
+        the request stream: replaying the same ``(block_address, is_write,
+        now)`` sequence yields byte-identical ledgers, which is what makes
+        the RowHammer planner path-invariant across the ``arrays`` /
+        ``objects`` / ``batched`` simulation kernels.
+        """
+        channels = range(self.num_channels) if channel is None else (channel,)
+        counts: Dict[Tuple[int, int, int], int] = {}
+        for ch in channels:
+            for (bank, row), count in self._act_counts[ch].items():
+                counts[(ch, bank, row)] = count
+        return counts
+
+    def row_activations(self, channel: int, bank: int, row: int) -> int:
+        """Activations of one row in its channel's current window."""
+        return self._act_counts[channel].get((bank, row), 0)
 
     # ------------------------------------------------------------------
     # Derived metrics

@@ -280,6 +280,12 @@ class SecureMemoryEngine:
                        fn=lambda: self.dram.average_read_latency())
         registry.gauge(f"{prefix}.dram_avg_write_latency",
                        fn=lambda: self.dram.average_write_latency())
+        registry.gauge(f"{prefix}.dram_activations",
+                       fn=lambda: self.dram.stats.activations)
+        registry.gauge(f"{prefix}.dram_max_row_activations",
+                       fn=lambda: self.dram.stats.max_row_activations)
+        registry.gauge(f"{prefix}.dram_act_window_resets",
+                       fn=lambda: self.dram.stats.act_window_resets)
         registry.gauge(f"{prefix}.dram_queue_share",
                        fn=lambda: (
                            self.dram.stats.queue_cycles / self.dram.stats.busy_cycles

@@ -88,6 +88,10 @@ class MerkleTree:
         self._check_leaf(leaf_index)
         return self._leaves.get(leaf_index, self._default_leaf)
 
+    def level_size(self, level: int) -> int:
+        """Number of internal nodes at ``level`` (0 = parents of leaves)."""
+        return self._level_sizes[level]
+
     def has_leaf(self, leaf_index: int) -> bool:
         """True once ``leaf_index`` has been written (non-default digest)."""
         self._check_leaf(leaf_index)

@@ -6,8 +6,11 @@ silent on honest runs (no false positives), and the timing stack's two
 dispatch paths must be byte-identical.  This package attacks both claims
 mechanically — seeded tamper schedules through :mod:`~repro.verify.
 attack`, differential and invariant oracles through :mod:`~repro.verify.
-differential`, and a fuzz campaign over both through :mod:`~repro.verify.
-fuzz` (``python -m repro verify fuzz``).
+differential`, a fuzz campaign over both through :mod:`~repro.verify.
+fuzz` (``python -m repro verify fuzz``), and a RowHammer disturbance
+model through :mod:`~repro.verify.hammer` (``python -m repro verify
+hammer``) that earns its bit flips from DRAM activation pressure instead
+of drawing them at random.
 """
 
 from .attack import AttackError, AttackHarness, AttackReport, Detection, run_attack
@@ -22,17 +25,37 @@ from .differential import (
     run_with_invariants,
 )
 from .fuzz import replay, run_fuzz, shrink_case
+from .hammer import (
+    HammerConfig,
+    HammerFlip,
+    HammerPlan,
+    PhysicalMap,
+    boundary_hammer_ops,
+    ops_from_trace,
+    plan_hammer,
+    run_hammer_attack,
+    run_hammer_sweep,
+)
 from .tamper import (
+    ATTACK_CLASSES,
+    ATTACK_KINDS,
     EXPECTED_DETECTOR,
+    HAMMER_TARGETS,
     TAMPER_KINDS,
+    AttackClass,
     Op,
     TamperSpec,
     affected_blocks,
+    expected_detector,
+    expected_level,
     generate_ops,
     generate_schedule,
 )
 
 __all__ = [
+    "ATTACK_CLASSES",
+    "ATTACK_KINDS",
+    "AttackClass",
     "AttackError",
     "AttackHarness",
     "AttackReport",
@@ -40,20 +63,32 @@ __all__ = [
     "DifferentialReport",
     "Divergence",
     "EXPECTED_DETECTOR",
+    "HAMMER_TARGETS",
+    "HammerConfig",
+    "HammerFlip",
+    "HammerPlan",
     "Op",
+    "PhysicalMap",
     "TAMPER_KINDS",
     "TamperSpec",
     "affected_blocks",
+    "boundary_hammer_ops",
     "check_invariants",
     "diff_functional",
     "diff_paths",
+    "expected_detector",
+    "expected_level",
     "generate_ops",
     "generate_schedule",
     "lockstep_path_pair",
     "lockstep_paths",
+    "ops_from_trace",
+    "plan_hammer",
     "replay",
     "run_attack",
     "run_fuzz",
+    "run_hammer_attack",
+    "run_hammer_sweep",
     "run_with_invariants",
     "shrink_case",
 ]

@@ -15,7 +15,8 @@ Contract enforced (and accounted in the :class:`AttackReport`):
   not attributable to an armed injection (a schedule-free control run must
   be completely silent).
 * **Correct attribution** — each class is caught by the right check
-  (:data:`~repro.verify.tamper.EXPECTED_DETECTOR`) at the right tree
+  (:func:`~repro.verify.tamper.expected_detector`, driven by the
+  :data:`~repro.verify.tamper.ATTACK_CLASSES` registry) at the right tree
   level; anything else lands in ``misattributions``.
 * **Honest recovery** — detection triggers the injection's *undo* (the
   attacker is evicted), the failed op is retried, and the run continues;
@@ -38,7 +39,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..obs.events import EventRing
 from ..secure.functional import FunctionalSecureMemory, IntegrityViolation
-from .tamper import EXPECTED_DETECTOR, Op, TamperSpec, affected_blocks
+from .tamper import (
+    ATTACK_CLASSES,
+    Op,
+    TamperSpec,
+    affected_blocks,
+    expected_detector,
+    expected_level,
+    perturb_line_snapshot,
+)
 
 
 class AttackError(AssertionError):
@@ -146,11 +155,12 @@ class _Armed:
     def mt_level(self) -> bool:
         """True for tree-level tampers, whose blast radius is whole lines.
 
-        MAC-level tampers (bitflip, stale MAC, swap) corrupt only their
-        victim blocks — other blocks in the same counter line stay
-        perfectly readable.
+        MAC-level tampers (bitflip, stale MAC, swap, hammer-data) corrupt
+        only their victim blocks — other blocks in the same counter line
+        stay perfectly readable.  Resolved through the class registry so
+        new kinds carry their own semantics.
         """
-        return self.spec.kind in ("rollback", "splice")
+        return ATTACK_CLASSES[self.spec.kind].line_level(self.spec)
 
 
 class AttackHarness:
@@ -281,6 +291,8 @@ class AttackHarness:
                 # ancestors must be recomputed after the node is restored.
                 memory.tree.tamper_node(level, node, digest)
                 memory.tree.rehash_ancestors(level, node)
+        elif spec.kind == "hammer":
+            undo = self._inject_hammer(spec)
         else:
             raise ValueError(f"unknown tamper kind {spec.kind!r}")
         blocks = affected_blocks(spec, memory)
@@ -299,8 +311,46 @@ class AttackHarness:
             at=index,
             tamper=spec.kind,
             block=spec.block,
-            level=spec.level if spec.kind == "splice" else None,
+            level=spec.level if spec.level >= 0 else None,
+            **({"target": spec.target} if spec.target else {}),
         )
+
+    def _inject_hammer(self, spec: TamperSpec) -> Callable[[], None]:
+        """Land a disturbance-error flip in the targeted physical region.
+
+        The flip is injected through the same tamper surfaces as the other
+        classes — it is the *cause* (activation pressure, modelled by the
+        planner) that differs, not the corruption mechanics.
+        """
+        memory = self.memory
+        scheme = memory.scheme
+        if spec.target == "data":
+            old = memory.snapshot_ciphertext(spec.block)
+            flipped = bytearray(old)
+            flipped[(spec.bit // 8) % len(old)] ^= 1 << (spec.bit % 8)
+            memory.tamper_ciphertext(spec.block, bytes(flipped))
+            return lambda: memory.tamper_ciphertext(spec.block, old)
+        if spec.target == "ctr":
+            line = scheme.ctr_index(spec.block)
+            before = scheme.snapshot_line(line)
+            scheme.restore_line(
+                line, perturb_line_snapshot(scheme, spec.block, before, spec.bit)
+            )
+            return lambda: scheme.restore_line(line, before)
+        if spec.target == "mt":
+            line = scheme.ctr_index(spec.block)
+            node_index = line // (memory.tree.arity ** (spec.level + 1))
+            old_digest = memory.tree.node_digest(spec.level, node_index)
+            flipped = bytearray(old_digest)
+            flipped[(spec.bit // 8) % len(old_digest)] ^= 1 << (spec.bit % 8)
+            memory.tree.tamper_node(spec.level, node_index, bytes(flipped))
+
+            def undo(level=spec.level, node=node_index, digest=old_digest):
+                memory.tree.tamper_node(level, node, digest)
+                memory.tree.rehash_ancestors(level, node)
+
+            return undo
+        raise ValueError(f"unknown hammer target {spec.target!r}")
 
     # ------------------------------------------------------------------
     # Operations with detection accounting
@@ -347,15 +397,23 @@ class AttackHarness:
         line whose leaf does not exist yet is healed by the first write's
         ``update_leaf`` (there is nothing for verify-on-write to check).
         Rollback and leaf-backed splices are caught by the verify-on-write
-        path instead, so no probe is needed.
+        path instead, so no probe is needed.  Each class declares its heal
+        channel in the :data:`~repro.verify.tamper.ATTACK_CLASSES`
+        registry (hammer flips inherit the channel of the region they
+        landed in: data flips heal like bitflips, MT-node flips like
+        splices, counter flips not at all).
         """
         line = self.memory.scheme.ctr_index(block)
         for armed in list(self._armed):
-            kind = armed.spec.kind
+            heal = ATTACK_CLASSES[armed.spec.kind].write_heal(armed.spec)
             heals = False
-            if kind in ("bitflip", "stale_mac", "swap") and line in armed.lines:
+            if heal == "overwrite" and line in armed.lines:
                 heals = True
-            elif kind == "splice" and line in armed.lines and not self.memory.tree.has_leaf(line):
+            elif (
+                heal == "unbacked_leaf"
+                and line in armed.lines
+                and not self.memory.tree.has_leaf(line)
+            ):
                 heals = True
             if heals:
                 self._probe(armed, self._op_index, via="probe_heal")
@@ -427,31 +485,16 @@ class AttackHarness:
             block=exc.block,
         )
         self.report.detections.append(detection)
-        expected_detector = EXPECTED_DETECTOR[spec.kind]
-        expected_level: Optional[int] = None
-        if spec.kind == "rollback":
-            expected_level = 0
-        elif spec.kind == "splice":
-            # Leaves under the spliced node fail when the node is recomputed
-            # from its honest children; leaves under its siblings fail one
-            # level higher, when the parent's recomputation includes the
-            # tampered digest.
-            tree = self.memory.tree
-            node_index = (
-                self.memory.scheme.ctr_index(spec.block)
-                // (tree.arity ** (spec.level + 1))
-            )
-            first, last = tree.subtree_leaves(spec.level, node_index)
-            under_node = exc.ctr_index is not None and first <= exc.ctr_index < last
-            expected_level = spec.level + 1 if under_node else spec.level + 2
-        if exc.kind != expected_detector or (
-            expected_level is not None and exc.level != expected_level
+        want_detector = expected_detector(spec)
+        want_level = expected_level(spec, self.memory, exc.ctr_index)
+        if exc.kind != want_detector or (
+            want_level is not None and exc.level != want_level
         ):
             self.report.misattributions.append(
                 {
                     "spec": spec.to_dict(),
-                    "expected_detector": expected_detector,
-                    "expected_level": expected_level,
+                    "expected_detector": want_detector,
+                    "expected_level": want_level,
                     "actual_detector": exc.kind,
                     "actual_level": exc.level,
                 }
@@ -467,6 +510,7 @@ class AttackHarness:
             detector=exc.kind,
             level=exc.level,
             block=exc.block,
+            **({"target": spec.target} if spec.target else {}),
         )
 
 

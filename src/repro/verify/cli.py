@@ -9,6 +9,9 @@ Subcommands:
 * ``diff`` — array-vs-object path differential plus engine invariants
   for one design on a seeded random trace.
 * ``replay`` — re-execute a minimised fuzz repro file.
+* ``hammer`` — RowHammer disturbance-error sweep: aggressor workloads
+  and region-boundary scenarios, every planned flip must be detected
+  with correct attribution and benign traffic must stay silent.
 """
 
 from __future__ import annotations
@@ -24,6 +27,11 @@ from ..sim.simulator import SimulationConfig
 from .attack import AttackError, AttackHarness
 from .differential import diff_paths, run_with_invariants
 from .fuzz import DESIGNS, SCHEMES, _random_accesses, replay, run_fuzz
+from .hammer import (
+    HammerConfig,
+    run_hammer_attack,
+    run_hammer_sweep,
+)
 from .tamper import TAMPER_KINDS, generate_ops, generate_schedule
 
 
@@ -78,6 +86,37 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     invariants = run_with_invariants(args.design, accesses, config)
     _print({"paths": paths_report.to_dict(), "invariants": invariants.to_dict()})
     return 0 if paths_report.matched and invariants.matched else 1
+
+
+def _cmd_hammer(args: argparse.Namespace) -> int:
+    config = HammerConfig(threshold=args.threshold, window_ops=args.window_ops)
+    if args.pattern is not None:
+        from ..workloads.hammer import generate_hammer_trace
+        from .hammer import ops_from_trace
+
+        trace = generate_hammer_trace(
+            args.pattern, num_cores=2, max_accesses=args.accesses,
+            seed=args.seed, start=0,
+        )
+        ops = ops_from_trace(trace, args.blocks)
+        plan, report = run_hammer_attack(
+            ops, scheme=args.scheme, num_blocks=args.blocks,
+            config=config, seed=args.seed,
+        )
+        payload = {"plan": plan.to_dict(), "report": report.to_dict()}
+        clean = report.clean and bool(plan.flips)
+    else:
+        payload = run_hammer_sweep(
+            seed=args.seed, num_blocks=args.blocks,
+            accesses=args.accesses, config=config,
+        )
+        clean = bool(payload["clean"])
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _print(payload)
+    return 0 if clean else 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -141,3 +180,29 @@ def add_verify_parser(sub: argparse._SubParsersAction) -> None:
     )
     replay_parser.add_argument("file", help="path to a repro-*.json file")
     replay_parser.set_defaults(func=_cmd_replay)
+
+    hammer = verify_sub.add_parser(
+        "hammer", help="RowHammer disturbance-error sweep (sixth attack class)"
+    )
+    hammer.add_argument("--seed", type=int, default=0)
+    hammer.add_argument(
+        "--pattern", choices=("hammer-single", "hammer-double",
+                              "hammer-many", "hammer-mixed"),
+        default=None,
+        help="run a single aggressor workload instead of the full sweep",
+    )
+    hammer.add_argument("--scheme", choices=SCHEMES, default="monolithic")
+    hammer.add_argument("--blocks", type=int, default=1 << 12)
+    hammer.add_argument("--accesses", type=int, default=1200)
+    hammer.add_argument(
+        "--threshold", type=int, default=96,
+        help="HC threshold (combined neighbour activations per window)",
+    )
+    hammer.add_argument(
+        "--window-ops", type=int, default=384,
+        help="ops per refresh window (tREFI proxy)",
+    )
+    hammer.add_argument(
+        "--out", default="", help="also write the JSON summary to this file"
+    )
+    hammer.set_defaults(func=_cmd_hammer)

@@ -183,9 +183,14 @@ def run_fuzz(
         designs: Design pool for the timing differential leg.
         sim_accesses: Length of each trial's simulator trace.
     """
+    from ..workloads.hammer import HAMMER_WORKLOADS, generate_hammer_trace
+    from .hammer import HammerConfig, ops_from_trace, plan_hammer
+
     out_dir = Path(out_dir) if out_dir is not None else Path("verify-repros")
     injections = 0
     detections = 0
+    hammer_injections = 0
+    hammer_detections = 0
     repro_files: List[str] = []
     failure_summaries: List[Dict[str, object]] = []
     schemes_checked: set = set()
@@ -248,10 +253,59 @@ def run_fuzz(
         if not invariants.matched:
             failures.append(f"invariants violated: {invariants.to_dict()}")
 
+        # RowHammer leg: a seeded aggressor workload is planned into
+        # disturbance flips from the activation ledger, then every flip
+        # must be caught with correct attribution.  Pattern, threshold
+        # and refresh-window proxy are all trial-varied; the planned
+        # schedule round-trips the same repro format as the other kinds.
+        hammer_failures: List[str] = []
+        pattern = HAMMER_WORKLOADS[trial % len(HAMMER_WORKLOADS)]
+        hammer_config = HammerConfig(
+            threshold=rng.choice((48, 64, 96)),
+            window_ops=rng.choice((256, 384)),
+        )
+        hammer_blocks = 1 << 12
+        hammer_trace = generate_hammer_trace(
+            pattern, num_cores=2, max_accesses=600,
+            seed=rng.randrange(1 << 16), start=0,
+        )
+        hammer_ops = ops_from_trace(hammer_trace, hammer_blocks)
+        hammer_plan = plan_hammer(
+            hammer_ops, _make_memory(scheme_name, hammer_blocks),
+            hammer_config, seed=trial,
+        )
+        if not hammer_plan.flips:
+            hammer_failures.append(
+                f"hammer leg planned no flips for {pattern} "
+                f"(threshold {hammer_config.threshold}, max pressure "
+                f"{hammer_plan.max_pressure})"
+            )
+        leg_failures, hammer_report = _attack_failures(
+            scheme_name, hammer_blocks, hammer_ops, hammer_plan.schedule
+        )
+        hammer_failures.extend(leg_failures)
+        if hammer_report is not None:
+            hammer_injections += len(hammer_report.schedule)
+            hammer_detections += len(hammer_report.detections)
+        if hammer_failures:
+            min_ops, min_schedule = shrink_case(
+                scheme_name, hammer_blocks,
+                list(hammer_ops), list(hammer_plan.schedule),
+            )
+            repro_path = out_dir / f"repro-{seed}-{trial}-hammer.json"
+            write_repro(
+                repro_path, seed, trial, scheme_name, hammer_blocks,
+                min_ops, min_schedule, hammer_failures,
+            )
+            repro_files.append(repro_path.name)
+            failures.extend(f"hammer leg ({pattern}): {f}" for f in hammer_failures)
+
         if failures:
             min_ops, min_schedule = (list(ops), list(schedule))
             attack_related = any(
-                not f.startswith(("path ", "batched ", "invariants", "functional"))
+                not f.startswith(
+                    ("path ", "batched ", "invariants", "functional", "hammer leg")
+                )
                 for f in failures
             )
             if attack_related and schedule:
@@ -272,6 +326,8 @@ def run_fuzz(
         "trials": budget,
         "injections": injections,
         "detections": detections,
+        "hammer_injections": hammer_injections,
+        "hammer_detections": hammer_detections,
         "schemes_checked": sorted(schemes_checked),
         "designs_checked": sorted(designs_checked),
         "failing_trials": failure_summaries,

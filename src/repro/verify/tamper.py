@@ -5,7 +5,8 @@ with which parameters — against a :class:`~repro.secure.functional.
 FunctionalSecureMemory` run.  Specs are plain JSON-safe records so fuzzer
 repro cases can be written to disk and replayed bit-for-bit.
 
-Five classes cover the secure-memory threat model (paper Sec. 2.1):
+Six classes cover the secure-memory threat model (paper Sec. 2.1 plus
+the RowHammer disturbance-error adversary of ROADMAP item 4):
 
 ====================  =====================================================
 ``bitflip``           Flip one ciphertext bit — caught by the per-line MAC.
@@ -17,7 +18,16 @@ Five classes cover the secure-memory threat model (paper Sec. 2.1):
                       when the path is recomputed.
 ``swap``              Relocate two blocks' (ciphertext, MAC) pairs — caught
                       by the MAC's physical-address binding.
+``hammer``            Disturbance-error bitflip from row-activation
+                      pressure (planned by :mod:`repro.verify.hammer`).
+                      Lands in a data line (caught by the MAC), a counter
+                      line (MT leaf, level 0) or an internal MT node
+                      (caught like a splice), per ``spec.target``.
 ====================  =====================================================
+
+Per-class accounting semantics (expected detector, blast radius, silent
+write-heal channel) live in the :data:`ATTACK_CLASSES` registry so the
+harness, the fuzzer's shrinking/replay and any future class stay in sync.
 
 Schedules are generated from a seeded :class:`random.Random` against a
 concrete trace of :class:`Op` records, so the same seed always yields the
@@ -29,16 +39,23 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..secure.aes import LINE_BYTES
 from ..secure.functional import FunctionalSecureMemory
 
-#: Every tamper class the harness knows how to inject.
+#: The five schedulable tamper classes (:func:`generate_schedule` draws
+#: from these; ``hammer`` specs are planned by :mod:`repro.verify.hammer`
+#: from an activation ledger instead of drawn at random).
 TAMPER_KINDS = ("bitflip", "rollback", "stale_mac", "splice", "swap")
+
+#: Injection channels a ``hammer`` spec can land in (``spec.target``).
+HAMMER_TARGETS = ("data", "ctr", "mt")
 
 #: Which check must fire for each class (zero tolerance for misattribution:
 #: a rollback "caught" by the MAC means the tree is not doing its job).
+#: Kept for the five fixed-detector classes; :func:`expected_detector`
+#: additionally resolves ``hammer``, whose detector depends on the target.
 EXPECTED_DETECTOR = {
     "bitflip": "mac",
     "rollback": "mt",
@@ -83,9 +100,14 @@ class TamperSpec:
             so it doubles as the end-of-run probe target.
         snapshot_at: For ``rollback``/``stale_mac``: op index at which the
             replayed pre-state is captured (before that op executes).
-        bit: For ``bitflip``: which of the 512 ciphertext bits to flip.
+        bit: For ``bitflip``/``hammer``: which bit to flip.
         partner: For ``swap``: the other block of the exchanged pair.
-        level: For ``splice``: internal tree level of the overwritten node.
+        level: For ``splice`` and ``hammer`` with ``target="mt"``: internal
+            tree level of the corrupted node.
+        target: For ``hammer``: which physical region the disturbance
+            error lands in — ``"data"`` (victim block's ciphertext),
+            ``"ctr"`` (the victim's counter line) or ``"mt"`` (an internal
+            tree node on the victim's path).  Empty for other kinds.
     """
 
     kind: str
@@ -95,6 +117,7 @@ class TamperSpec:
     bit: int = -1
     partner: int = -1
     level: int = -1
+    target: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -105,6 +128,7 @@ class TamperSpec:
             "bit": self.bit,
             "partner": self.partner,
             "level": self.level,
+            "target": self.target,
         }
 
     @classmethod
@@ -117,12 +141,153 @@ class TamperSpec:
             bit=int(data.get("bit", -1)),
             partner=int(data.get("partner", -1)),
             level=int(data.get("level", -1)),
+            target=str(data.get("target", "")),
         )
 
     def splice_digest(self) -> bytes:
         """Deterministic garbage digest for a ``splice`` injection."""
         tag = f"cosmos-splice:{self.inject_at}:{self.block}:{self.level}"
         return hashlib.sha256(tag.encode()).digest()
+
+
+@dataclass(frozen=True)
+class AttackClass:
+    """Accounting semantics of one attack class.
+
+    The harness and the fuzzer's shrinking/replay consult this registry
+    instead of dispatching on kind strings, so a new class (``hammer``
+    today, whatever comes next) only has to describe itself here.
+
+    Attributes:
+        kind: Registry key, matching ``TamperSpec.kind``.
+        detector: Expected check ("mac" | "mt") for a given spec.
+        line_level: True when the blast radius is whole counter lines
+            (tree-level state); False when only the victim blocks
+            themselves are corrupted.
+        write_heal: Silent-heal channel a write can open — ``"overwrite"``
+            (overwriting the victim's line destroys MAC-level evidence),
+            ``"unbacked_leaf"`` (the first ``update_leaf`` of a line with
+            no leaf yet re-hashes over the corruption), or ``"none"``
+            (the verify-on-write path catches it first).
+    """
+
+    kind: str
+    detector: Callable[["TamperSpec"], str]
+    line_level: Callable[["TamperSpec"], bool]
+    write_heal: Callable[["TamperSpec"], str]
+
+
+def _hammer_detector(spec: "TamperSpec") -> str:
+    return "mac" if spec.target == "data" else "mt"
+
+
+def _hammer_heal(spec: "TamperSpec") -> str:
+    return {"data": "overwrite", "ctr": "none", "mt": "unbacked_leaf"}[spec.target]
+
+
+#: kind -> accounting semantics, for every class the harness can arm.
+ATTACK_CLASSES: Dict[str, AttackClass] = {
+    "bitflip": AttackClass("bitflip", lambda s: "mac", lambda s: False,
+                           lambda s: "overwrite"),
+    "stale_mac": AttackClass("stale_mac", lambda s: "mac", lambda s: False,
+                             lambda s: "overwrite"),
+    "swap": AttackClass("swap", lambda s: "mac", lambda s: False,
+                        lambda s: "overwrite"),
+    "rollback": AttackClass("rollback", lambda s: "mt", lambda s: True,
+                            lambda s: "none"),
+    "splice": AttackClass("splice", lambda s: "mt", lambda s: True,
+                          lambda s: "unbacked_leaf"),
+    "hammer": AttackClass("hammer", _hammer_detector,
+                          lambda s: s.target in ("ctr", "mt"), _hammer_heal),
+}
+
+#: Every kind the harness can arm (schedulable five + planned ``hammer``).
+ATTACK_KINDS = tuple(ATTACK_CLASSES)
+
+
+def expected_detector(spec: TamperSpec) -> str:
+    """Which check ("mac" | "mt") must catch ``spec``."""
+    return ATTACK_CLASSES[spec.kind].detector(spec)
+
+
+def expected_level(
+    spec: TamperSpec,
+    memory: FunctionalSecureMemory,
+    violation_ctr_index: Optional[int],
+) -> Optional[int]:
+    """Tree level the detection must report, or ``None`` when the class
+    does not constrain it (MAC-level classes).
+
+    Counter-line corruption (rollback, hammer-ctr) must fail the leaf
+    digest: level 0.  Node corruption (splice, hammer-mt) at level L is
+    caught at L+1 for leaves under the node (the node is recomputed from
+    its honest children) and at L+2 for leaves under its siblings (the
+    parent's recomputation includes the tampered digest).
+    """
+    if spec.kind == "rollback" or (spec.kind == "hammer" and spec.target == "ctr"):
+        return 0
+    if spec.kind == "splice" or (spec.kind == "hammer" and spec.target == "mt"):
+        tree = memory.tree
+        node_index = (
+            memory.scheme.ctr_index(spec.block) // (tree.arity ** (spec.level + 1))
+        )
+        first, last = tree.subtree_leaves(spec.level, node_index)
+        under_node = (
+            violation_ctr_index is not None and first <= violation_ctr_index < last
+        )
+        return spec.level + 1 if under_node else spec.level + 2
+    return None
+
+
+def perturb_line_snapshot(scheme, block: int, snapshot, bit: int):
+    """Deterministically corrupt one counter-line snapshot.
+
+    Models a disturbance error landing in stored counter state.  Split and
+    morph schemes snapshot as ``(major, {offset: minor})`` — the flip lands
+    in the shared major counter; the monolithic scheme snapshots a tuple of
+    per-offset counters — the flip lands in the victim block's own counter.
+    Either way the re-serialised leaf payload differs from the digest the
+    tree holds, so the MT leaf check fails at level 0.
+    """
+    if (
+        isinstance(snapshot, tuple)
+        and len(snapshot) == 2
+        and isinstance(snapshot[1], dict)
+    ):
+        major, minors = snapshot
+        return (major ^ (1 << (bit % 8)), dict(minors))
+    values = list(snapshot)
+    offset = block % len(values)
+    values[offset] = values[offset] ^ (1 << (bit % 8))
+    return tuple(values)
+
+
+def _line_blocks(line: int, memory: FunctionalSecureMemory) -> Set[int]:
+    bpc = memory.scheme.blocks_per_ctr
+    return set(range(line * bpc, min((line + 1) * bpc, memory.num_blocks)))
+
+
+def _parent_subtree_blocks(spec: TamperSpec, memory: FunctionalSecureMemory) -> Set[int]:
+    """Blocks poisoned by corrupting the MT node on ``spec.block``'s path.
+
+    Tampering node N poisons every path through N's *parent*: leaves under
+    N fail when N is recomputed from its honest children (level + 1), and
+    leaves under N's siblings fail one level higher when the parent is
+    recomputed from children that include the tampered N (level + 2).
+    Outside the parent's subtree every recomputation only touches honest
+    stored digests.
+    """
+    scheme = memory.scheme
+    bpc = scheme.blocks_per_ctr
+    line = scheme.ctr_index(spec.block)
+    tree = memory.tree
+    parent_level = spec.level + 1
+    if parent_level >= tree.levels:
+        first, last = 0, tree.num_leaves
+    else:
+        parent_index = line // (tree.arity ** (parent_level + 1))
+        first, last = tree.subtree_leaves(parent_level, parent_index)
+    return set(range(first * bpc, min(last * bpc, memory.num_blocks)))
 
 
 def affected_blocks(spec: TamperSpec, memory: FunctionalSecureMemory) -> Set[int]:
@@ -133,30 +298,22 @@ def affected_blocks(spec: TamperSpec, memory: FunctionalSecureMemory) -> Set[int
     and therefore needs a probe first.
     """
     scheme = memory.scheme
-    bpc = scheme.blocks_per_ctr
     if spec.kind in ("bitflip", "stale_mac"):
         return {spec.block}
     if spec.kind == "swap":
         return {spec.block, spec.partner}
     if spec.kind == "rollback":
-        line = scheme.ctr_index(spec.block)
-        return set(range(line * bpc, min((line + 1) * bpc, memory.num_blocks)))
+        return _line_blocks(scheme.ctr_index(spec.block), memory)
     if spec.kind == "splice":
-        # Tampering node N poisons every path through N's *parent*: leaves
-        # under N fail when N is recomputed from its honest children
-        # (level + 1), and leaves under N's siblings fail one level higher
-        # when the parent is recomputed from children that include the
-        # tampered N (level + 2).  Outside the parent's subtree every
-        # recomputation only touches honest stored digests.
-        line = scheme.ctr_index(spec.block)
-        tree = memory.tree
-        parent_level = spec.level + 1
-        if parent_level >= tree.levels:
-            first, last = 0, tree.num_leaves
-        else:
-            parent_index = line // (tree.arity ** (parent_level + 1))
-            first, last = tree.subtree_leaves(parent_level, parent_index)
-        return set(range(first * bpc, min(last * bpc, memory.num_blocks)))
+        return _parent_subtree_blocks(spec, memory)
+    if spec.kind == "hammer":
+        if spec.target == "data":
+            return {spec.block}
+        if spec.target == "ctr":
+            return _line_blocks(scheme.ctr_index(spec.block), memory)
+        if spec.target == "mt":
+            return _parent_subtree_blocks(spec, memory)
+        raise ValueError(f"unknown hammer target {spec.target!r}")
     raise ValueError(f"unknown tamper kind {spec.kind!r}")
 
 

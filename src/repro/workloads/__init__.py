@@ -16,6 +16,7 @@ from .analysis import (
     working_set_curve,
 )
 from .graph_algos import GRAPH_WORKLOADS, available_kernels, generate_graph_trace
+from .hammer import HAMMER_WORKLOADS, generate_hammer_trace
 from .ml import ML_WORKLOADS, Layer, generate_ml_trace, model_layers
 from .micro import (
     phased_trace,
@@ -48,6 +49,7 @@ __all__ = [
     "CsrGraph",
     "DB_WORKLOADS",
     "GRAPH_WORKLOADS",
+    "HAMMER_WORKLOADS",
     "GraphMemoryLayout",
     "Layer",
     "ML_WORKLOADS",
@@ -58,6 +60,7 @@ __all__ = [
     "degree_skew",
     "generate_db_trace",
     "generate_graph_trace",
+    "generate_hammer_trace",
     "generate_ml_trace",
     "generate_spec_trace",
     "github_like_graph",

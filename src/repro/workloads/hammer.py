@@ -1,0 +1,189 @@
+"""RowHammer aggressor workload generators.
+
+Synthetic access patterns that hammer DRAM rows *through the memory
+system*: all the generator emits is ordinary reads and writes, and the
+disturbance pressure arises from how those accesses map onto banks and
+rows.  In an open-page memory a row is only re-activated when its bank's
+row buffer holds a different row, so every pattern here alternates
+between distinct rows of the *same* bank — the defining structure of a
+hammer kernel, and the reason a naive "loop over one address" does
+nothing.
+
+Four patterns (:data:`HAMMER_WORKLOADS`):
+
+* ``hammer-single`` — one aggressor row adjacent to the victim,
+  alternated with a far "dummy" row in the same bank to defeat the row
+  buffer (classic single-sided hammer).
+* ``hammer-double`` — the two rows sandwiching the victim, alternated
+  (double-sided: maximum pressure per activation pair).
+* ``hammer-many`` — four aggressor rows around the victim (many-sided,
+  TRR-evasion style: pressure spreads over several victims).
+* ``hammer-mixed`` — a double-sided aggressor interleaved 3:1 with a
+  benign Zipf tenant in a disjoint address range, modelling a co-located
+  attacker in a multi-tenant machine.
+
+Traces are TraceArrays-native (one vectorised tile of a per-pattern
+cycle) and deterministic in ``(workload, seed, geometry)``.  A seeded
+prologue writes the victim row's blocks and the aggressor blocks so the
+victim carries real tenant data for the verification harness to corrupt
+(:mod:`repro.verify.hammer` plans flips from the same geometry).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..mem.access import AccessType
+from ..mem.dram import DramModel, DramTimings
+from .micro import zipf_trace
+from .trace import (
+    ADDRESS_DTYPE,
+    CORE_DTYPE,
+    HEAP_BASE,
+    TYPE_DTYPE,
+    Trace,
+    TraceArrays,
+)
+
+#: Registered aggressor patterns.
+HAMMER_WORKLOADS = ("hammer-single", "hammer-double", "hammer-many", "hammer-mixed")
+
+_READ = int(AccessType.READ)
+_WRITE = int(AccessType.WRITE)
+
+#: Benign-tenant footprint (blocks) and block offset for ``hammer-mixed``:
+#: disjoint from the aggressor rows so the tenant never adds pressure.
+_TENANT_BLOCKS = 2048
+_TENANT_OFFSET = 2048
+
+
+def _aggressor_rows(workload: str, victim_row: int) -> List[int]:
+    if workload == "hammer-single":
+        # Lone adjacent aggressor + same-bank dummy far enough (>= 4 rows)
+        # that the dummy's own neighbours never include the victim.
+        return [victim_row + 1, victim_row + 5]
+    if workload in ("hammer-double", "hammer-mixed"):
+        return [victim_row - 1, victim_row + 1]
+    if workload == "hammer-many":
+        return [victim_row - 3, victim_row - 1, victim_row + 1, victim_row + 3]
+    raise ValueError(f"unknown hammer workload {workload!r}")
+
+
+def generate_hammer_trace(
+    workload: str,
+    num_cores: int = 4,
+    max_accesses: Optional[int] = None,
+    seed: int = 0,
+    start: int = HEAP_BASE,
+    victim_row: int = 8,
+    row_blocks: int = 4,
+    num_banks: int = 2,
+    num_channels: int = 1,
+) -> Trace:
+    """Generate one aggressor trace.
+
+    Args:
+        workload: One of :data:`HAMMER_WORKLOADS`.
+        num_cores: Core-id space; the aggressor issues from core 1 (or 0
+            when single-core), the benign tenant of ``hammer-mixed``
+            from core 0.
+        max_accesses: Total trace length (default 3072).
+        seed: Perturbs the victim row within the data region and seeds
+            the benign tenant; same seed ⇒ byte-identical trace.
+        start: Base byte address of the trace (use 0 to align with the
+            hammer model geometry of :mod:`repro.verify.hammer`).
+        victim_row / row_blocks / num_banks / num_channels: Geometry of
+            the targeted DRAM — must match the model the defender
+            (planner) assumes for the pressure accounting to line up.
+    """
+    if workload not in HAMMER_WORKLOADS:
+        raise ValueError(
+            f"unknown hammer workload {workload!r}; expected one of {HAMMER_WORKLOADS}"
+        )
+    rng = random.Random(f"cosmos-hammer-workload:{workload}:{seed}")
+    geometry = DramModel(
+        timings=DramTimings(refresh_interval=0),
+        num_banks=num_banks,
+        num_channels=num_channels,
+        row_size_bytes=row_blocks * 64,
+    )
+    # Seeded jitter keeps rows >= 4 so every pattern's lowest aggressor
+    # (victim - 3) stays in range and a below-victim dummy would too.
+    victim = victim_row + 4 * rng.randrange(4)
+    total = 3072 if max_accesses is None else max_accesses
+    hammer_core = 1 if num_cores > 1 else 0
+
+    rows = _aggressor_rows(workload, victim)
+    row_addr = {
+        row: start + geometry.encode(0, 0, row, 0) * 64 for row in rows
+    }
+
+    # Prologue: the benign victim's data (every block of the victim row)
+    # plus one block per aggressor row, all written once.
+    prologue_addrs: List[int] = [
+        start + geometry.encode(0, 0, victim, column) * 64
+        for column in range(row_blocks)
+    ] + [row_addr[row] for row in rows]
+    prologue_n = len(prologue_addrs)
+    body_n = max(total - prologue_n, 0)
+
+    if workload == "hammer-mixed":
+        addresses = np.empty(total, dtype=ADDRESS_DTYPE)
+        types = np.empty(total, dtype=TYPE_DTYPE)
+        cores = np.empty(total, dtype=CORE_DTYPE)
+        addresses[:prologue_n] = prologue_addrs
+        types[:prologue_n] = _WRITE
+        cores[:prologue_n] = hammer_core
+
+        slots = np.arange(body_n)
+        benign_mask = slots % 4 == 3
+        benign_n = int(benign_mask.sum())
+        hammer_n = body_n - benign_n
+        cycle = np.array([row_addr[rows[0]], row_addr[rows[1]]], dtype=ADDRESS_DTYPE)
+        hammer_addrs = np.tile(cycle, -(-hammer_n // 2) or 1)[:hammer_n]
+
+        tenant = zipf_trace(
+            n=max(benign_n, 1),
+            footprint_blocks=_TENANT_BLOCKS,
+            start=start + _TENANT_OFFSET * 64,
+            seed=rng.randrange(1 << 30),
+        ).arrays()
+
+        body_addresses = np.empty(body_n, dtype=ADDRESS_DTYPE)
+        body_types = np.full(body_n, _READ, dtype=TYPE_DTYPE)
+        body_cores = np.full(body_n, hammer_core, dtype=CORE_DTYPE)
+        body_addresses[~benign_mask] = hammer_addrs
+        body_addresses[benign_mask] = tenant.addresses[:benign_n]
+        body_types[benign_mask] = tenant.types[:benign_n]
+        body_cores[benign_mask] = 0
+        addresses[prologue_n:] = body_addresses
+        types[prologue_n:] = body_types
+        cores[prologue_n:] = body_cores
+    else:
+        cycle = np.array([row_addr[row] for row in rows], dtype=ADDRESS_DTYPE)
+        body = np.tile(cycle, -(-body_n // len(cycle)) or 1)[:body_n]
+        addresses = np.concatenate(
+            [np.array(prologue_addrs, dtype=ADDRESS_DTYPE), body]
+        )
+        types = np.concatenate(
+            [
+                np.full(prologue_n, _WRITE, dtype=TYPE_DTYPE),
+                np.full(body_n, _READ, dtype=TYPE_DTYPE),
+            ]
+        )
+        cores = np.full(total, hammer_core, dtype=CORE_DTYPE)
+
+    arrays = TraceArrays(addresses, types, cores)
+    metadata: Dict[str, object] = {
+        "kind": workload,
+        "victim_row": victim,
+        "aggressor_rows": rows,
+        "row_blocks": row_blocks,
+        "num_banks": num_banks,
+        "num_channels": num_channels,
+        "seed": seed,
+    }
+    return Trace.from_arrays(workload, arrays, metadata=metadata)

@@ -92,6 +92,50 @@ def test_matrix_identical_across_jobs_and_cache_modes(tmp_path, monkeypatch):
     runner._RESULT_CACHE.clear()
 
 
+def test_hammer_matrix_identical_across_jobs_and_cache_modes(tmp_path, monkeypatch):
+    """RowHammer aggressor workloads obey the same determinism contract:
+    same seed => byte-identical results, serial vs --jobs 4, cache on/off."""
+    from repro.bench import runner
+
+    monkeypatch.setenv("REPRO_TRACE_LEN", "1500")
+    monkeypatch.setattr(runner, "CACHE_DIR", tmp_path / "cache")
+    designs = ["np", "cosmos"]
+    workloads = ["hammer-double", "hammer-mixed"]
+    dumps = []
+    for jobs, use_cache in ((1, False), (4, False), (1, True), (4, True)):
+        runner._MEMORY_CACHE.clear()
+        runner._RESULT_CACHE.clear()
+        matrix = runner.run_design_matrix(
+            designs, workloads, jobs=jobs, use_cache=use_cache
+        )
+        dumps.append(_matrix_dump(matrix))
+    assert all(d == dumps[0] for d in dumps[1:])
+    runner._MEMORY_CACHE.clear()
+    runner._RESULT_CACHE.clear()
+
+
+def test_hammer_verdicts_reproducible():
+    """Planner + harness verdicts are a pure function of the seed."""
+    import json
+
+    from repro.verify.hammer import run_hammer_attack
+    from repro.verify.hammer import ops_from_trace
+    from repro.workloads.hammer import generate_hammer_trace
+
+    dumps = []
+    for _ in range(2):
+        trace = generate_hammer_trace(
+            "hammer-many", num_cores=2, max_accesses=900, seed=6, start=0
+        )
+        plan, report = run_hammer_attack(
+            ops_from_trace(trace, 1 << 12), scheme="split", seed=6
+        )
+        dumps.append(json.dumps(
+            {"plan": plan.to_dict(), "report": report.to_dict()}, sort_keys=True
+        ))
+    assert dumps[0] == dumps[1]
+
+
 def test_experiment_rows_reproducible(tmp_path, monkeypatch):
     from repro.bench import experiments, runner
 

@@ -300,3 +300,61 @@ def test_reset_stats_keeps_open_rows():
     latency = dram.request(1, now=first + 1)
     assert latency == dram.timings.row_hit_latency  # warm row survived
     assert dram.stats.row_hits == 1
+
+
+# ----------------------------------------------------------------------
+# RowHammer activation ledger
+# ----------------------------------------------------------------------
+def test_activation_ledger_counts_row_misses_only():
+    dram = DramModel(timings=DramTimings(refresh_interval=0))
+    row_blocks = dram.row_size_bytes // 64
+    dram.request(0, now=0)                 # ACT row 0
+    dram.request(1, now=0)                 # same row: hit, no ACT
+    dram.request(row_blocks, now=0)        # ACT next chunk (another channel/bank/row)
+    dram.request(0, now=0)
+    channel, bank, row, _ = dram.decode(0)
+    first_row_acts = dram.row_activations(channel, bank, row)
+    total = sum(dram.activation_counts().values())
+    assert total == dram.stats.activations == dram.stats.row_misses
+    assert first_row_acts >= 1
+    assert dram.stats.max_row_activations == max(dram.activation_counts().values())
+
+
+def test_activation_ledger_resets_on_refresh_window():
+    interval = 1000
+    dram = DramModel(timings=DramTimings(refresh_interval=interval), num_banks=1)
+    row_blocks = dram.row_size_bytes // 64
+    # Two ACTs inside window 0 by alternating rows.
+    dram.request(0, now=0)
+    dram.request(row_blocks * dram.num_channels, now=0)
+    assert sum(dram.activation_counts().values()) == 2
+    # First request of window 3 clears the ledger and counts the reset.
+    dram.request(0, now=3 * interval + 1)
+    assert dram.stats.act_window_resets == 1
+    assert sum(dram.activation_counts().values()) == 1
+    # Lifetime activation count is unaffected by the reset.
+    assert dram.stats.activations == 3
+
+
+def test_activation_counts_filter_by_channel():
+    dram = DramModel(timings=DramTimings(refresh_interval=0), num_channels=2)
+    row_blocks = dram.row_size_bytes // 64
+    dram.request(0, now=0)            # channel 0
+    dram.request(row_blocks, now=0)   # channel 1
+    all_counts = dram.activation_counts()
+    ch0 = dram.activation_counts(channel=0)
+    ch1 = dram.activation_counts(channel=1)
+    assert set(all_counts) == set(ch0) | set(ch1)
+    assert all(key[0] == 0 for key in ch0)
+    assert all(key[0] == 1 for key in ch1)
+
+
+def test_max_row_activations_tracks_hottest_row():
+    dram = DramModel(timings=DramTimings(refresh_interval=0), num_banks=1,
+                     num_channels=1)
+    row_blocks = dram.row_size_bytes // 64
+    for _ in range(5):                     # ping-pong two rows of one bank
+        dram.request(0, now=0)
+        dram.request(row_blocks, now=0)
+    assert dram.stats.max_row_activations == 5
+    assert dram.stats.as_dict()["max_row_activations"] == 5

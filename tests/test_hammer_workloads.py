@@ -1,0 +1,170 @@
+"""Aggressor workload generators: structure, determinism, benign floor.
+
+The generators emit plain reads/writes; what makes them hammers is the
+bank/row structure — checked here by decoding every trace through the
+same geometry the planner assumes.  The below-threshold regression pins
+the other side of the contract: ordinary zipf/db/graph tenants at the
+default geometry never earn a disturbance flip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem.dram import DramModel, DramTimings
+from repro.verify.hammer import HammerConfig, ops_from_trace, plan_hammer
+from repro.secure.counters import make_counter_scheme
+from repro.secure.functional import FunctionalSecureMemory
+from repro.workloads.hammer import HAMMER_WORKLOADS, generate_hammer_trace
+
+
+def _geometry(row_blocks=4, num_banks=2, num_channels=1):
+    return DramModel(
+        timings=DramTimings(refresh_interval=0),
+        num_banks=num_banks,
+        num_channels=num_channels,
+        row_size_bytes=row_blocks * 64,
+    )
+
+
+def _memory(num_blocks=1 << 12, scheme="monolithic"):
+    return FunctionalSecureMemory(
+        num_blocks=num_blocks, scheme=make_counter_scheme(scheme)
+    )
+
+
+@pytest.mark.parametrize("workload", HAMMER_WORKLOADS)
+def test_same_seed_byte_identical(workload):
+    a = generate_hammer_trace(workload, seed=5, max_accesses=800).arrays()
+    b = generate_hammer_trace(workload, seed=5, max_accesses=800).arrays()
+    assert np.array_equal(a.addresses, b.addresses)
+    assert np.array_equal(a.types, b.types)
+    assert np.array_equal(a.cores, b.cores)
+
+
+def test_different_seed_moves_the_victim():
+    rows = {
+        generate_hammer_trace("hammer-double", seed=s).metadata["victim_row"]
+        for s in range(8)
+    }
+    assert len(rows) > 1
+
+
+@pytest.mark.parametrize("workload", HAMMER_WORKLOADS)
+def test_aggressors_alternate_rows_in_one_bank(workload):
+    """Consecutive aggressor accesses must re-open rows of a single bank."""
+    trace = generate_hammer_trace(workload, seed=0, max_accesses=600, start=0)
+    arrays = trace.arrays()
+    geometry = _geometry()
+    hammer_core = int(arrays.cores.max())
+    mask = (arrays.cores == hammer_core) & (arrays.types != 1)  # reads only
+    blocks = (arrays.addresses[mask] >> 6).tolist()
+    assert len(blocks) > 100
+    decoded = [geometry.decode(block) for block in blocks]
+    banks = {(channel, bank) for channel, bank, _, _ in decoded}
+    assert banks == {(0, 0)}
+    for prev, cur in zip(decoded, decoded[1:]):
+        assert prev[2] != cur[2], "same row twice in a row = row hit, no ACT"
+
+
+def test_aggressor_rows_sandwich_the_victim():
+    trace = generate_hammer_trace("hammer-double", seed=0)
+    victim = trace.metadata["victim_row"]
+    assert trace.metadata["aggressor_rows"] == [victim - 1, victim + 1]
+    many = generate_hammer_trace("hammer-many", seed=0)
+    victim = many.metadata["victim_row"]
+    assert many.metadata["aggressor_rows"] == [
+        victim - 3, victim - 1, victim + 1, victim + 3
+    ]
+
+
+def test_mixed_carries_a_benign_tenant():
+    trace = generate_hammer_trace("hammer-mixed", seed=0, max_accesses=1000)
+    arrays = trace.arrays()
+    cores = set(arrays.cores.tolist())
+    assert cores == {0, 1}
+    benign = arrays.addresses[arrays.cores == 0]
+    hammer = arrays.addresses[arrays.cores == 1]
+    assert len(benign) > 0 and len(hammer) > 0
+    # Tenant footprint is disjoint from the aggressor rows.
+    assert int(benign.min()) >= int(hammer.max())
+
+
+def test_prologue_writes_victim_row():
+    trace = generate_hammer_trace("hammer-single", seed=0, start=0)
+    arrays = trace.arrays()
+    geometry = _geometry()
+    victim = trace.metadata["victim_row"]
+    write_rows = {
+        geometry.decode(int(a) >> 6)[2]
+        for a in arrays.addresses[arrays.is_write]
+    }
+    assert victim in write_rows
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        generate_hammer_trace("hammer-sideways")
+
+
+def test_registered_in_bench_runner():
+    from repro.bench.runner import _generate
+
+    trace = _generate("hammer-double", num_cores=2, length=512, scale=1.0, seed=3)
+    assert trace.name == "hammer-double"
+    assert len(trace.arrays()) == 512
+
+
+def test_listed_by_cli():
+    from repro.__main__ import build_parser, main
+
+    assert build_parser() is not None
+    assert main(["list"]) == 0
+
+
+def test_trace_simulates_with_activity():
+    """Hammer traces run through the full simulator like any workload."""
+    from repro.sim.config import small_test_config
+    from repro.sim.simulator import simulate
+
+    trace = generate_hammer_trace("hammer-double", num_cores=2, max_accesses=2000)
+    result = simulate("np", trace, small_test_config(num_cores=2),
+                      workload="hammer-double")
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("workload", HAMMER_WORKLOADS)
+def test_every_pattern_earns_flips(workload):
+    """Each aggressor pattern crosses threshold at the default geometry."""
+    trace = generate_hammer_trace(workload, num_cores=2, seed=1, start=0,
+                                  max_accesses=1200)
+    ops = ops_from_trace(trace, 1 << 12)
+    plan = plan_hammer(ops, _memory(), HammerConfig(), seed=1)
+    assert plan.flips, f"{workload} never crossed threshold"
+    assert plan.max_pressure >= HammerConfig().threshold
+
+
+# ----------------------------------------------------------------------
+# Below-threshold regression: benign tenants never flip
+# ----------------------------------------------------------------------
+def _benign_traces():
+    from repro.workloads.db import generate_db_trace
+    from repro.workloads.graph_algos import generate_graph_trace
+    from repro.workloads.micro import zipf_trace
+
+    yield "zipf", zipf_trace(n=2000, footprint_blocks=1 << 12, start=0, seed=0)
+    yield "db", generate_db_trace("ycsb", num_cores=2, max_accesses=2000)
+    yield "graph", generate_graph_trace("bfs", num_cores=2, max_accesses=2000,
+                                        graph_scale=0.05)
+
+
+def test_benign_workloads_plan_zero_flips():
+    config = HammerConfig()
+    memory = _memory()
+    for name, trace in _benign_traces():
+        ops = ops_from_trace(trace, 1 << 12)
+        plan = plan_hammer(ops, memory, config, seed=0)
+        assert not plan.flips, (
+            f"{name}: benign trace earned {len(plan.flips)} flips "
+            f"(max pressure {plan.max_pressure} vs threshold {config.threshold})"
+        )
+        assert plan.max_pressure < config.threshold, name

@@ -35,6 +35,13 @@ def test_quick_budget_campaign_is_clean_and_detects_everything(tmp_path):
     assert not (tmp_path / "repros").exists()
 
 
+def test_campaign_includes_hammer_leg(tmp_path):
+    """Every trial also plans and detects activation-earned flips."""
+    summary = run_fuzz(seed=11, budget=4, out_dir=tmp_path / "repros")
+    assert summary["clean"], summary["failing_trials"]
+    assert summary["hammer_injections"] == summary["hammer_detections"] > 0
+
+
 def test_different_seeds_produce_different_campaigns(tmp_path):
     a = run_fuzz(seed=0, budget=3, out_dir=tmp_path / "a")
     b = run_fuzz(seed=1, budget=3, out_dir=tmp_path / "b")
@@ -153,6 +160,20 @@ def test_cli_diff_checks_paths_and_invariants(capsys):
     assert code == 0
     assert payload["paths"]["matched"]
     assert payload["invariants"]["matched"]
+
+
+def test_cli_hammer_single_pattern_detects_planned_flips(tmp_path, capsys):
+    out = tmp_path / "hammer.json"
+    code = main(["verify", "hammer", "--pattern", "hammer-double", "--seed", "4",
+                 "--accesses", "900", "--out", str(out)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["plan"]["flips"]
+    assert payload["report"]["false_negatives"] == []
+    assert payload["report"]["false_positives"] == []
+    assert payload["report"]["misattributions"] == []
+    assert len(payload["report"]["detections"]) == len(payload["plan"]["flips"])
+    assert json.loads(out.read_text())["plan"] == payload["plan"]
 
 
 def test_cli_replay_exit_codes_track_failures(tmp_path, capsys, monkeypatch):
