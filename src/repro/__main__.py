@@ -21,6 +21,7 @@ from typing import Callable, Dict
 
 from .bench import experiments
 from .bench.report import format_table
+from .mem.calibrate import available_profiles
 from .workloads.graph_algos import GRAPH_WORKLOADS
 from .workloads.hammer import HAMMER_WORKLOADS
 from .workloads.ml import ML_WORKLOADS
@@ -136,6 +137,11 @@ def _cmd_list(_: argparse.Namespace) -> int:
             + ["mlp"] + list(HAMMER_WORKLOADS)
         ),
     )
+    print(
+        "            trace:<path>  (external Ramulator/gem5 request trace, "
+        ".gz ok)"
+    )
+    print("dram profiles:", ", ".join(available_profiles()) or "<none>")
     return 0
 
 

@@ -90,6 +90,23 @@ def get_trace(
     """
     from ..workloads.serialization import load_trace, save_trace
 
+    if workload.startswith("trace:"):
+        # External request trace (Ramulator / gem5 export): the file is
+        # already a materialised trace, so the npz generation cache is
+        # skipped — only the in-memory cache applies.  ``num_cores``,
+        # ``seed`` and ``scale`` do not affect a recorded stream.
+        from ..workloads.ingest import load_external_trace
+
+        source = workload[len("trace:"):]
+        limit = max_accesses if max_accesses is not None else trace_length()
+        key = f"{workload}-n{limit}"
+        cached = _MEMORY_CACHE.get(key)
+        if cached is None:
+            with obs.span("trace_ingest", workload=workload, key=key):
+                cached = load_external_trace(source, max_accesses=limit)
+            _MEMORY_CACHE[key] = cached
+        return cached
+
     length = max_accesses if max_accesses is not None else trace_length()
     scale = scale if scale is not None else graph_scale()
     key = f"{workload}-c{num_cores}-n{length}-g{scale}"

@@ -1,0 +1,75 @@
+"""DRAM timing-model calibration against Ramulator-2.0-shaped ground truth.
+
+PR 5 rebuilt :class:`~repro.mem.dram.DramModel` as an honest bank-state
+machine; this package makes it a *validated* one (ROADMAP item 5).  The
+method follows the two Ramulator 2.0 re-evaluation papers (PAPERS.md):
+replay published microbenchmark *patterns*, compare curve *shapes* within
+per-point tolerance bands, and fit the timing knobs by least squares.
+
+* :mod:`~repro.mem.calibrate.patterns` — the microbenchmark replay
+  harness: row-hit/row-miss ladders, read<->write turnaround sweeps,
+  bank-level-parallelism curves and refresh-interference probes, each
+  driving ``DramModel.request`` directly and recording a
+  latency/bandwidth/row-hit-rate :class:`Curve`.
+* :mod:`~repro.mem.calibrate.reference` — the shape comparator: checked-in
+  reference curves with per-point tolerance bands, per-curve comparisons
+  and a JSON-able :class:`CalibrationReport`.
+* :mod:`~repro.mem.calibrate.fit` — a deterministic least-squares
+  coordinate-descent fitter over the :class:`~repro.mem.dram.DramTimings`
+  knobs.
+* :mod:`~repro.mem.calibrate.profiles` — pinned calibration profiles
+  (JSON per DDR4/DDR5 geometry, shipped under ``profiles/``), loadable by
+  name from :class:`~repro.secure.engine.EngineConfig.dram_profile`.
+
+``python -m repro verify dram-calib`` runs the seeded calibration check
+against a pinned profile and exits non-zero if any curve point leaves its
+tolerance band; CI runs it and uploads the curve-comparison artifact.
+"""
+
+from .fit import FitResult, curve_error, fit_timings
+from .patterns import (
+    Curve,
+    blp_curve,
+    refresh_probe,
+    row_hit_ladder,
+    run_microbenchmarks,
+    turnaround_sweep,
+)
+from .profiles import (
+    CalibrationProfile,
+    available_profiles,
+    load_profile,
+    load_reference,
+    pin_profile,
+)
+from .reference import (
+    CalibrationReport,
+    CurveComparison,
+    PointCheck,
+    ReferenceCurve,
+    compare_curve,
+    run_calibration,
+)
+
+__all__ = [
+    "CalibrationProfile",
+    "CalibrationReport",
+    "Curve",
+    "CurveComparison",
+    "FitResult",
+    "PointCheck",
+    "ReferenceCurve",
+    "available_profiles",
+    "blp_curve",
+    "compare_curve",
+    "curve_error",
+    "fit_timings",
+    "load_profile",
+    "load_reference",
+    "pin_profile",
+    "refresh_probe",
+    "row_hit_ladder",
+    "run_calibration",
+    "run_microbenchmarks",
+    "turnaround_sweep",
+]

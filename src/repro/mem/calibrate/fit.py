@@ -1,0 +1,156 @@
+"""Least-squares fitting of ``DramTimings`` knobs to reference curves.
+
+The model's knobs are integer CPU-cycle counts, the objective is a sum
+of squared relative curve errors, and there is no gradient — so the
+fitter is plain coordinate descent with a shrinking integer step
+schedule.  It is fully deterministic for a fixed seed: the only
+randomness is the knob visit order, drawn from ``random.Random(seed)``,
+and every objective evaluation replays the same microbenchmark suite at
+the same request budget the references were measured at.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dram import DramModel, DramTimings
+from .patterns import Curve, run_microbenchmarks
+from .reference import ReferenceCurve
+
+#: Knobs the fitter is allowed to move (integer cycle counts).  Geometry
+#: knobs (burst length, refresh cadence) are part of the profile's
+#: identity, not free parameters.
+FIT_KNOBS: Tuple[str, ...] = (
+    "cas",
+    "rcd",
+    "rp",
+    "cwl",
+    "wr",
+    "turnaround",
+    "queue_penalty",
+)
+
+#: Shrinking integer step schedule for the coordinate descent.
+STEP_SCHEDULE: Tuple[int, ...] = (8, 4, 2, 1)
+
+
+def curve_error(measured: Curve, reference: ReferenceCurve) -> float:
+    """Sum of squared relative errors between a curve and its reference.
+
+    Each point is normalised by ``max(|reference|, 1)`` so curves on
+    different scales (latency in hundreds of cycles, utilisation in
+    [0, 1]) contribute comparably to a combined objective.
+    """
+    if len(measured.ys) != len(reference.ys):
+        raise ValueError(
+            f"curve {measured.name!r}: {len(measured.ys)} measured points vs "
+            f"{len(reference.ys)} reference points"
+        )
+    error = 0.0
+    for got, want in zip(measured.ys, reference.ys):
+        rel = (got - want) / max(abs(want), 1.0)
+        error += rel * rel
+    return error
+
+
+@dataclass
+class FitResult:
+    """Outcome of one :func:`fit_timings` run."""
+
+    timings: DramTimings
+    error: float
+    initial_error: float
+    evaluations: int
+    #: Knob -> (initial value, fitted value); only knobs that moved.
+    adjusted: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "error": self.error,
+            "initial_error": self.initial_error,
+            "evaluations": self.evaluations,
+            "adjusted": {
+                knob: {"from": old, "to": new}
+                for knob, (old, new) in self.adjusted.items()
+            },
+            "timings": {
+                knob: getattr(self.timings, knob) for knob in FIT_KNOBS
+            },
+        }
+
+
+def fit_timings(
+    references: Sequence[ReferenceCurve],
+    initial: Optional[DramTimings] = None,
+    knobs: Sequence[str] = FIT_KNOBS,
+    seed: int = 0,
+    requests: int = 2048,
+    num_channels: int = 1,
+    num_banks: int = 16,
+    max_rounds: int = 8,
+) -> FitResult:
+    """Fit timing knobs so the microbenchmark curves match ``references``.
+
+    Coordinate descent: visit the knobs in a seeded random order, try
+    ``+/- step`` for each step in the shrinking schedule, keep any move
+    that lowers the combined :func:`curve_error` objective, and stop
+    after a full round with no improvement (or ``max_rounds``).
+
+    ``requests`` must match the budget the references were measured at
+    (the open-loop sweeps are backlog-dominated, so their absolute
+    values depend on stream length); the default matches
+    :func:`~repro.mem.calibrate.profiles.pin_profile`.  Knobs that only
+    appear summed in the patterns (tRP + tRCD + tCL) are recovered up to
+    that sum — least squares cannot split what the curves do not
+    separate.
+    """
+    base = initial if initial is not None else DramTimings()
+    names = [ref.name for ref in references]
+    by_name = {ref.name: ref for ref in references}
+    rng = random.Random(seed)
+    evaluations = 0
+
+    def objective(timings: DramTimings) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        factory = lambda: DramModel(
+            timings=timings, num_channels=num_channels, num_banks=num_banks
+        )
+        curves = run_microbenchmarks(factory, requests=requests, include=names)
+        return sum(curve_error(curve, by_name[curve.name]) for curve in curves)
+
+    current = base
+    best = objective(current)
+    initial_error = best
+    for _ in range(max_rounds):
+        improved = False
+        order = list(knobs)
+        rng.shuffle(order)
+        for knob in order:
+            for step in STEP_SCHEDULE:
+                for direction in (1, -1):
+                    value = getattr(current, knob) + direction * step
+                    if value < 0:
+                        continue
+                    candidate = replace(current, **{knob: value})
+                    error = objective(candidate)
+                    if error < best:
+                        current, best = candidate, error
+                        improved = True
+        if not improved:
+            break
+
+    adjusted = {
+        knob: (getattr(base, knob), getattr(current, knob))
+        for knob in knobs
+        if getattr(base, knob) != getattr(current, knob)
+    }
+    return FitResult(
+        timings=current,
+        error=best,
+        initial_error=initial_error,
+        evaluations=evaluations,
+        adjusted=adjusted,
+    )

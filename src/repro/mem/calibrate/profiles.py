@@ -1,0 +1,245 @@
+"""Pinned calibration profiles: named (geometry, timings, reference) sets.
+
+A profile JSON under ``profiles/`` fully determines a calibrated
+:class:`~repro.mem.dram.DramModel`: the geometry, the timing knobs, and
+the microbenchmark curves the model produced when the profile was pinned
+(the reference the :mod:`~repro.mem.calibrate.reference` comparator
+checks against).  Profiles are loadable by name from experiment configs
+via :class:`~repro.secure.engine.EngineConfig.dram_profile`.
+
+File layout (``format: 1``)::
+
+    {
+      "format": 1,
+      "profile": {"name", "description", "geometry", "timings", "provenance"},
+      "tolerance": {"rel": 0.08, "abs": 2.0},
+      "curves": [{"name", "xs", "ys", "tol_rel", "tol_abs", ...}, ...]
+    }
+
+:func:`pin_profile` regenerates a file from live measurements — run it
+after any deliberate timing-model change, exactly like re-pinning golden
+metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..dram import DramModel, DramTimings
+from .patterns import run_microbenchmarks
+from .reference import DEFAULT_TOL_ABS, DEFAULT_TOL_REL, ReferenceCurve
+
+#: Where the checked-in profile JSONs live (shipped with the package).
+PROFILE_DIR = Path(__file__).parent / "profiles"
+
+#: Profile name used when a config enables calibration without naming one.
+DEFAULT_PROFILE = "ddr4-2400"
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class CalibrationProfile:
+    """A named, calibrated DRAM configuration (geometry + timings)."""
+
+    name: str
+    timings: DramTimings
+    num_banks: int = 16
+    num_channels: int = 1
+    row_size_bytes: int = 2048
+    description: str = ""
+    #: Where the reference shapes/values came from (free-form, for humans).
+    provenance: str = ""
+
+    def build_model(self) -> DramModel:
+        """A fresh :class:`DramModel` configured per this profile."""
+        return DramModel(
+            timings=self.timings,
+            num_banks=self.num_banks,
+            num_channels=self.num_channels,
+            row_size_bytes=self.row_size_bytes,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "geometry": {
+                "num_banks": self.num_banks,
+                "num_channels": self.num_channels,
+                "row_size_bytes": self.row_size_bytes,
+            },
+            "timings": {
+                f.name: getattr(self.timings, f.name)
+                for f in fields(DramTimings)
+            },
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CalibrationProfile":
+        geometry = dict(data.get("geometry", {}))
+        known = {f.name for f in fields(DramTimings)}
+        timings_data = {
+            key: int(value)
+            for key, value in dict(data.get("timings", {})).items()
+            if key in known
+        }
+        return cls(
+            name=str(data["name"]),
+            timings=DramTimings(**timings_data),
+            num_banks=int(geometry.get("num_banks", 16)),
+            num_channels=int(geometry.get("num_channels", 1)),
+            row_size_bytes=int(geometry.get("row_size_bytes", 2048)),
+            description=str(data.get("description", "")),
+            provenance=str(data.get("provenance", "")),
+        )
+
+
+def _profile_path(name: str, directory: Optional[Path] = None) -> Path:
+    base = directory if directory is not None else PROFILE_DIR
+    return base / f"{name}.json"
+
+
+def available_profiles(directory: Optional[Path] = None) -> List[str]:
+    """Names of every profile JSON shipped (or present in ``directory``)."""
+    base = directory if directory is not None else PROFILE_DIR
+    if not base.is_dir():
+        return []
+    return sorted(path.stem for path in base.glob("*.json"))
+
+
+def _read(name: str, directory: Optional[Path] = None) -> Dict[str, object]:
+    path = _profile_path(name, directory)
+    if not path.is_file():
+        known = ", ".join(available_profiles(directory)) or "<none>"
+        raise FileNotFoundError(
+            f"no calibration profile {name!r} at {path} (available: {known})"
+        )
+    with path.open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    version = int(data.get("format", 0))
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"profile {name!r} has format {version}, expected {FORMAT_VERSION}"
+        )
+    return data
+
+
+def load_profile(
+    name: str, directory: Optional[Path] = None
+) -> CalibrationProfile:
+    """Load a pinned profile by name (e.g. ``"ddr4-2400"``)."""
+    data = _read(name, directory)
+    return CalibrationProfile.from_dict(dict(data["profile"]))
+
+
+def load_reference(
+    name: str, directory: Optional[Path] = None
+) -> List[ReferenceCurve]:
+    """Load the reference curves pinned alongside a profile."""
+    data = _read(name, directory)
+    tolerance = dict(data.get("tolerance", {}))
+    rel = float(tolerance.get("rel", DEFAULT_TOL_REL))
+    abs_tol = float(tolerance.get("abs", DEFAULT_TOL_ABS))
+    references = []
+    for entry in data.get("curves", []):
+        entry = dict(entry)
+        entry.setdefault("tol_rel", rel)
+        entry.setdefault("tol_abs", abs_tol)
+        references.append(ReferenceCurve.from_dict(entry))
+    return references
+
+
+def pin_profile(
+    profile: CalibrationProfile,
+    directory: Optional[Path] = None,
+    requests: int = 2048,
+    tol_rel: float = DEFAULT_TOL_REL,
+    tol_abs: float = DEFAULT_TOL_ABS,
+    include: Optional[Sequence[str]] = None,
+) -> Path:
+    """Measure the microbenchmark suite and write the profile JSON.
+
+    Returns the path written.  This is the re-pin entry point
+    (``python -m repro verify dram-calib --pin``) for deliberate timing
+    changes; the diff of the curve values documents the change.
+    """
+    curves = run_microbenchmarks(
+        profile.build_model, requests=requests, include=include
+    )
+    payload = {
+        "format": FORMAT_VERSION,
+        "profile": profile.to_dict(),
+        "tolerance": {"rel": tol_rel, "abs": tol_abs},
+        "curves": [
+            {
+                **curve.to_dict(),
+                "tol_rel": tol_rel,
+                "tol_abs": tol_abs,
+            }
+            for curve in curves
+        ],
+    }
+    base = directory if directory is not None else PROFILE_DIR
+    base.mkdir(parents=True, exist_ok=True)
+    path = _profile_path(profile.name, base)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def builtin_profiles() -> List[CalibrationProfile]:
+    """The profile definitions this repo pins (DDR4 + DDR5 geometries).
+
+    * ``ddr4-2400`` — the paper's DDR4_2400_16x4 channel: the
+      :class:`DramTimings` defaults (tCL/tRCD/tRP ~ 13.75ns at 3 GHz).
+    * ``ddr5-4800`` — a DDR5-4800 single channel: higher cycle counts
+      for the core timings (absolute nanoseconds similar, doubled data
+      rate halves the burst duration), 32 banks, and the finer per-bank
+      refresh cadence (tREFI/2, tRFC ~ 295ns).
+    """
+    ddr4 = CalibrationProfile(
+        name="ddr4-2400",
+        timings=DramTimings(),
+        num_banks=16,
+        num_channels=1,
+        row_size_bytes=2048,
+        description="DDR4-2400 16-bank channel (paper Table 3 geometry)",
+        provenance=(
+            "DramTimings defaults: tCL=tRCD=tRP=13.75ns, tCWL=10ns, "
+            "tWR=15ns, tREFI=7.8us, tRFC=350ns at a 3 GHz core clock; "
+            "shapes validated against the Ramulator 2.0 re-evaluation "
+            "microbenchmarks (PAPERS.md)."
+        ),
+    )
+    ddr5 = CalibrationProfile(
+        name="ddr5-4800",
+        timings=DramTimings(
+            cas=50,
+            rcd=50,
+            rp=50,
+            burst=10,
+            cwl=47,
+            wr=90,
+            turnaround=8,
+            queue_penalty=6,
+            refresh_interval=11_700,
+            refresh_cycles=885,
+        ),
+        num_banks=32,
+        num_channels=1,
+        row_size_bytes=2048,
+        description="DDR5-4800 32-bank channel",
+        provenance=(
+            "JEDEC DDR5-4800B: tCL=tRCD=tRP~16.7ns, tCWL~15.6ns, "
+            "tWR=30ns, same-bank refresh tREFI/2=3.9us, tRFC=295ns at a "
+            "3 GHz core clock; BL16 at 4800 MT/s ~ 3.3ns data burst "
+            "(modelled as 10 core cycles)."
+        ),
+    )
+    return [ddr4, ddr5]

@@ -1,0 +1,193 @@
+"""Reference-shape comparison with per-point tolerance bands.
+
+The checked-in profile JSONs carry, next to the timing knobs, the curves
+the model produced at pin time.  :func:`compare_curve` re-measures and
+checks every point against its band — ``|measured - reference| <=
+max(tol_abs, tol_rel * |reference|)`` — and :func:`run_calibration`
+assembles the per-curve comparisons into a JSON-able
+:class:`CalibrationReport` (the artifact CI uploads).
+
+Shape, not absolute nanoseconds, is the contract (the Ramulator 2.0
+re-evaluation papers' method): the bands are tight enough to catch a
+broken accounting term — the issue-order turnaround bug shifts the
+turnaround sweep far outside its band — while absorbing the harmless
+integer-cycle wobble of refitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from .patterns import Curve, run_microbenchmarks
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .profiles import CalibrationProfile
+
+#: Default tolerance band applied when a reference point carries none.
+DEFAULT_TOL_REL = 0.08
+DEFAULT_TOL_ABS = 2.0
+
+
+@dataclass
+class ReferenceCurve:
+    """A pinned curve plus its tolerance band."""
+
+    name: str
+    xs: List[float]
+    ys: List[float]
+    tol_rel: float = DEFAULT_TOL_REL
+    tol_abs: float = DEFAULT_TOL_ABS
+
+    def band(self, reference: float) -> float:
+        """Allowed absolute deviation around one reference value."""
+        return max(self.tol_abs, self.tol_rel * abs(reference))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "xs": list(self.xs),
+            "ys": list(self.ys),
+            "tol_rel": self.tol_rel,
+            "tol_abs": self.tol_abs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReferenceCurve":
+        return cls(
+            name=str(data["name"]),
+            xs=[float(x) for x in data["xs"]],
+            ys=[float(y) for y in data["ys"]],
+            tol_rel=float(data.get("tol_rel", DEFAULT_TOL_REL)),
+            tol_abs=float(data.get("tol_abs", DEFAULT_TOL_ABS)),
+        )
+
+    @classmethod
+    def from_curve(
+        cls,
+        curve: Curve,
+        tol_rel: float = DEFAULT_TOL_REL,
+        tol_abs: float = DEFAULT_TOL_ABS,
+    ) -> "ReferenceCurve":
+        return cls(
+            name=curve.name,
+            xs=list(curve.xs),
+            ys=list(curve.ys),
+            tol_rel=tol_rel,
+            tol_abs=tol_abs,
+        )
+
+
+@dataclass
+class PointCheck:
+    """One curve point against its band."""
+
+    x: float
+    measured: float
+    reference: float
+    band: float
+    ok: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "x": self.x,
+            "measured": self.measured,
+            "reference": self.reference,
+            "band": self.band,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class CurveComparison:
+    """All points of one measured curve against its reference."""
+
+    name: str
+    points: List[PointCheck] = field(default_factory=list)
+    #: Largest |measured - reference| / max(|reference|, 1) over the curve.
+    max_rel_err: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(point.ok for point in self.points)
+
+    @property
+    def failed_points(self) -> List[PointCheck]:
+        return [point for point in self.points if not point.ok]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "max_rel_err": self.max_rel_err,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+
+def compare_curve(measured: Curve, reference: ReferenceCurve) -> CurveComparison:
+    """Check every measured point against the reference band.
+
+    The x grids must match exactly — a changed sweep is a changed
+    microbenchmark, not a tolerable deviation.
+    """
+    if [float(x) for x in measured.xs] != [float(x) for x in reference.xs]:
+        raise ValueError(
+            f"curve {measured.name!r}: measured x grid {measured.xs} does not "
+            f"match reference grid {reference.xs}"
+        )
+    comparison = CurveComparison(name=measured.name)
+    for x, got, want in zip(measured.xs, measured.ys, reference.ys):
+        band = reference.band(want)
+        ok = abs(got - want) <= band
+        comparison.points.append(
+            PointCheck(x=x, measured=got, reference=want, band=band, ok=ok)
+        )
+        rel = abs(got - want) / max(abs(want), 1.0)
+        comparison.max_rel_err = max(comparison.max_rel_err, rel)
+    return comparison
+
+
+@dataclass
+class CalibrationReport:
+    """Outcome of one calibration run: measured curves vs pinned reference."""
+
+    profile: str
+    comparisons: List[CurveComparison] = field(default_factory=list)
+    curves: List[Curve] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.comparisons) and all(c.ok for c in self.comparisons)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "ok": self.ok,
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "curves": [curve.to_dict() for curve in self.curves],
+        }
+
+
+def run_calibration(
+    profile: "CalibrationProfile",
+    references: Optional[Sequence[ReferenceCurve]] = None,
+    requests: int = 2048,
+) -> CalibrationReport:
+    """Replay the microbenchmark suite for ``profile`` and compare.
+
+    ``references`` defaults to the curves pinned in the profile's JSON;
+    only curves present in the reference set are compared (so a profile
+    may pin a subset).
+    """
+    if references is None:
+        from .profiles import load_reference
+
+        references = load_reference(profile.name)
+    by_name = {ref.name: ref for ref in references}
+    curves = run_microbenchmarks(
+        profile.build_model, requests=requests, include=list(by_name)
+    )
+    report = CalibrationReport(profile=profile.name, curves=curves)
+    for curve in curves:
+        report.comparisons.append(compare_curve(curve, by_name[curve.name]))
+    return report

@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .access import BLOCK_SHIFT
 
 #: Scheduling-window length (cycles) over which bus utilisation is
@@ -116,7 +118,9 @@ class DramStats:
     queue_cycles: int = 0
     #: Refresh stalls charged to requests (one tRFC each).
     refresh_stalls: int = 0
-    #: Channel read<->write direction switches.
+    #: Channel read<->write direction switches that actually delayed a
+    #: data burst (charged in bus-grant order; switches fully absorbed by
+    #: bank queueing cost nothing and are not counted).
     turnarounds: int = 0
     #: Background 64B requests charged as bus occupancy only (page
     #: re-encryption): they never touch row buffers or latency sums.
@@ -294,8 +298,6 @@ class DramModel:
         stays scalar: each request's latency depends on the previous
         one's side effects).
         """
-        import numpy as np
-
         blocks = np.asarray(block_addresses, dtype=np.int64)
         return (
             (blocks >> self._channel_shift) & self._channel_mask,
@@ -354,12 +356,6 @@ class DramModel:
             self._win_busy[channel] = 0
         start += (timings.queue_penalty * self._util[channel]) >> 10
 
-        # Direction turnaround on the channel bus.
-        if is_write != self._last_write[channel]:
-            self._last_write[channel] = is_write
-            start += timings.turnaround
-            stats.turnarounds += 1
-
         # Bank readiness: queue behind the bank's previous command (and,
         # after writes, its write-recovery window).
         bank_index = channel * self.num_banks + bank
@@ -387,11 +383,23 @@ class DramModel:
                 + timings.burst
             )
 
-        # Channel data-bus serialisation: bursts cannot overlap.
-        finish = start + service
-        bus_free = self._bus_ready[channel]
-        if finish - timings.burst < bus_free:
-            finish = bus_free + timings.burst
+        # Channel data-bus serialisation: bursts cannot overlap, and a
+        # direction switch costs ``turnaround`` idle bus cycles *between*
+        # the previous burst and this one.  Both are resolved here, in
+        # bus-grant order: a switch whose gap is fully absorbed by bank
+        # queueing (the burst could not have started earlier anyway)
+        # delays nothing and is not charged or counted.
+        burst_start = start + service - timings.burst
+        gate = self._bus_ready[channel]
+        if is_write != self._last_write[channel]:
+            self._last_write[channel] = is_write
+            gate += timings.turnaround
+            if burst_start < gate:
+                stats.turnarounds += 1
+        if burst_start < gate:
+            finish = gate + timings.burst
+        else:
+            finish = burst_start + timings.burst
         self._bus_ready[channel] = finish
         busy = stats.per_channel_busy
         busy[channel] = busy.get(channel, 0) + timings.burst
@@ -432,6 +440,11 @@ class DramModel:
             share = base + (1 if offset < extra else 0)
             if share:
                 busy[channel] = busy.get(channel, 0) + share * burst
+                # Background bursts occupy the measured utilisation window
+                # too: a channel saturated by re-encryption must raise the
+                # utilisation-derived queue penalty for the demand requests
+                # that share it, not just the occupancy ledger.
+                self._win_busy[channel] += share * burst
         self._background_cursor = (cursor + extra) % channels
 
     # ------------------------------------------------------------------
@@ -462,13 +475,21 @@ class DramModel:
     # Derived metrics
     # ------------------------------------------------------------------
     def average_latency(self) -> float:
-        """Mean latency per request; falls back to row-miss when idle."""
+        """Mean latency per request.
+
+        Idle fallback is *class-consistent*: with no requests observed
+        there is no workload mix, so it averages the two per-class
+        fallbacks (read row miss and write row miss) instead of silently
+        reporting the read one.
+        """
         if self.stats.requests == 0:
-            return float(self.timings.row_miss_latency)
+            return (
+                self.timings.row_miss_latency + self.timings.write_miss_latency
+            ) / 2.0
         return self.stats.busy_cycles / self.stats.requests
 
     def average_read_latency(self) -> float:
-        """Mean latency per read; falls back to row-miss when idle."""
+        """Mean latency per read; falls back to the *read* miss when idle."""
         if self.stats.reads == 0:
             return float(self.timings.row_miss_latency)
         return self.stats.read_cycles / self.stats.reads

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from ..core.config import CosmosConfig
 from ..mem.hierarchy import HierarchyConfig, LevelConfig
 from ..secure.engine import EngineConfig
@@ -73,16 +73,13 @@ class SimulationConfig:
         )
 
     def with_ctr_cache_bytes(self, size_bytes: int) -> "SimulationConfig":
-        """A copy with a different baseline CTR-cache capacity (Fig. 3)."""
-        engine = EngineConfig(
-            ctr_cache_bytes=size_bytes,
-            ctr_cache_assoc=self.engine.ctr_cache_assoc,
-            mt_cache_bytes=self.engine.mt_cache_bytes,
-            aes_latency=self.engine.aes_latency,
-            auth_latency=self.engine.auth_latency,
-            ctr_lookup_latency=self.engine.ctr_lookup_latency,
-            ctr_combine_latency=self.engine.ctr_combine_latency,
-        )
+        """A copy with a different baseline CTR-cache capacity (Fig. 3).
+
+        ``dataclasses.replace`` keeps every other engine knob (policy and
+        prefetcher names, MAC placement, DRAM calibration profile) — a
+        field-by-field rebuild here once silently dropped new fields.
+        """
+        engine = replace(self.engine, ctr_cache_bytes=size_bytes)
         return SimulationConfig(
             hierarchy=self.hierarchy,
             memory_bytes=self.memory_bytes,

@@ -12,6 +12,11 @@ Subcommands:
 * ``hammer`` — RowHammer disturbance-error sweep: aggressor workloads
   and region-boundary scenarios, every planned flip must be detected
   with correct attribution and benign traffic must stay silent.
+* ``dram-calib`` — replay the DRAM microbenchmark suite against a pinned
+  calibration profile; every curve point must stay inside its tolerance
+  band.  ``--fit`` reports least-squares knob deltas, ``--pin``
+  re-measures and rewrites the profile JSON after a deliberate timing
+  change.
 """
 
 from __future__ import annotations
@@ -119,6 +124,58 @@ def _cmd_hammer(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _cmd_dram_calib(args: argparse.Namespace) -> int:
+    from ..mem.calibrate import (
+        available_profiles,
+        fit_timings,
+        load_profile,
+        load_reference,
+        pin_profile,
+        run_calibration,
+    )
+
+    names = (
+        available_profiles() if args.profile == "all" else [args.profile]
+    )
+    if not names:
+        print("no calibration profiles found")
+        return 1
+
+    payload: dict = {"profiles": {}}
+    status = 0
+    for name in names:
+        profile = load_profile(name)
+        if args.pin:
+            path = pin_profile(profile, requests=args.requests)
+            payload["profiles"][name] = {"pinned": str(path)}
+            continue
+        report = run_calibration(profile, requests=args.requests)
+        entry = report.to_dict()
+        if args.fit:
+            result = fit_timings(
+                load_reference(name),
+                initial=profile.timings,
+                seed=args.seed,
+                requests=args.requests,
+                num_channels=profile.num_channels,
+                num_banks=profile.num_banks,
+            )
+            entry["fit"] = result.to_dict()
+        payload["profiles"][name] = entry
+        if not report.ok:
+            status = 1
+    payload["ok"] = status == 0
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    _print(payload)
+    return status
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     failures, report = replay(Path(args.file))
     payload: dict = {"failures": failures}
@@ -174,6 +231,33 @@ def add_verify_parser(sub: argparse._SubParsersAction) -> None:
              "default: %(default)s)",
     )
     diff.set_defaults(func=_cmd_diff)
+
+    calib = verify_sub.add_parser(
+        "dram-calib",
+        help="DRAM timing calibration check against a pinned profile",
+    )
+    calib.add_argument(
+        "--profile", default="all",
+        help="profile name (e.g. ddr4-2400) or 'all' (default)",
+    )
+    calib.add_argument(
+        "--requests", type=int, default=2048,
+        help="microbenchmark request budget (must match the pinned budget)",
+    )
+    calib.add_argument("--seed", type=int, default=0, help="fitter seed")
+    calib.add_argument(
+        "--fit", action="store_true",
+        help="also run the least-squares knob fitter and report deltas",
+    )
+    calib.add_argument(
+        "--pin", action="store_true",
+        help="re-measure and overwrite the pinned profile JSON(s)",
+    )
+    calib.add_argument(
+        "--out", default="",
+        help="also write the comparison report JSON to this file (CI artifact)",
+    )
+    calib.set_defaults(func=_cmd_dram_calib)
 
     replay_parser = verify_sub.add_parser(
         "replay", help="re-execute a minimised fuzz repro file"

@@ -28,10 +28,14 @@ from .micro import (
 )
 from .serialization import load_trace, save_trace
 from .spec import SPEC_WORKLOADS, generate_spec_trace
+from .ingest import TraceFormatError, detect_format, load_external_trace
 from .trace import Allocator, Trace, TraceArrays, interleave, multiprogram
 
 __all__ = [
     "Allocator",
+    "TraceFormatError",
+    "detect_format",
+    "load_external_trace",
     "TraceCharacterization",
     "characterize",
     "ctr_line_popularity",

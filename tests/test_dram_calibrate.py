@@ -1,0 +1,347 @@
+"""Tests for the DRAM calibration harness (repro.mem.calibrate)."""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.mem.calibrate import (
+    CalibrationProfile,
+    ReferenceCurve,
+    available_profiles,
+    blp_curve,
+    compare_curve,
+    curve_error,
+    fit_timings,
+    load_profile,
+    load_reference,
+    pin_profile,
+    refresh_probe,
+    row_hit_ladder,
+    run_calibration,
+    run_microbenchmarks,
+    turnaround_sweep,
+)
+from repro.mem.calibrate.patterns import Curve
+from repro.mem.dram import DramModel, DramTimings
+
+
+def ddr4():
+    return DramModel()
+
+
+# ----------------------------------------------------------------------
+# Microbenchmark patterns
+# ----------------------------------------------------------------------
+class TestPatterns:
+    def test_row_hit_ladder_monotone_decreasing(self):
+        curve = row_hit_ladder(ddr4, requests=512)
+        assert curve.ys == sorted(curve.ys, reverse=True)
+        assert all(a < b for a, b in zip(curve.ys[1:], curve.ys[:-1]))
+        # Endpoints bracket the pure-hit / pure-miss read latencies.
+        timings = DramTimings()
+        assert curve.ys[-1] < curve.ys[0]
+        assert curve.ys[0] >= timings.row_miss_latency
+        assert curve.ys[-1] >= timings.row_hit_latency
+
+    def test_row_hit_ladder_hit_rates_match_rung(self):
+        curve = row_hit_ladder(ddr4, hits_per_row=(1, 4), requests=512)
+        expected = [0.0, 0.75]
+        for got, want in zip(curve.extra["row_hit_rate"], expected):
+            assert abs(got - want) < 0.02
+
+    def test_turnaround_sweep_monotone_decreasing(self):
+        curve = turnaround_sweep(ddr4, requests=256)
+        assert all(a < b for a, b in zip(curve.ys[1:], curve.ys[:-1]))
+
+    def test_turnaround_sweep_counts_grant_order_switches(self):
+        # Period p over n requests flips floor((n-1)/p)-ish times; all of
+        # them delay a burst in a bus-saturating stream, so the counted
+        # turnarounds must track the commanded switch density exactly.
+        curve = turnaround_sweep(ddr4, periods=(1, 4, 16), requests=256)
+        counts = curve.extra["turnarounds"]
+        assert counts[0] == 255  # every request switches direction
+        assert counts[1] == 63
+        assert counts[2] == 15
+
+    def test_turnaround_sweep_detects_broken_accounting(self):
+        """The sweep separates grant-order from no-turnaround models.
+
+        A model with turnaround zeroed out must fall outside the pinned
+        band at short periods — this is the curve that exposed the
+        issue-order accounting bug.
+        """
+        good = turnaround_sweep(ddr4, requests=256)
+        reference = ReferenceCurve.from_curve(good)
+
+        def no_turnaround():
+            return DramModel(timings=replace(DramTimings(), turnaround=0))
+
+        broken = turnaround_sweep(no_turnaround, requests=256)
+        comparison = compare_curve(broken, reference)
+        assert not comparison.ok
+        assert not comparison.points[0].ok  # shortest period diverges most
+
+    def test_blp_curve_flattens_at_num_banks(self):
+        curve = blp_curve(ddr4, banks_used=(1, 2, 4, 8, 16, 32), requests=128)
+        model = ddr4()
+        # The x grid is clamped to the geometry...
+        assert max(curve.xs) == model.num_banks
+        # ...so the last two points (16 and clamped 32) are identical,
+        # while utilisation strictly improves up to the bank count.
+        assert curve.ys[-1] == curve.ys[-2]
+        ramp = curve.ys[: curve.xs.index(float(model.num_banks)) + 1]
+        assert all(a < b for a, b in zip(ramp[:-1], ramp[1:]))
+
+    def test_refresh_probe_measures_interference(self):
+        curve = refresh_probe(ddr4, gaps=(64, 1024), windows=4)
+        # Both gaps are below saturation, so stalls are visible and the
+        # differenced overhead is strictly positive.
+        assert all(y > 0 for y in curve.ys)
+        assert all(s >= 3 for s in curve.extra["refresh_stalls"])
+
+    def test_refresh_probe_requires_refresh(self):
+        def no_refresh():
+            return DramModel(timings=replace(DramTimings(), refresh_interval=0))
+
+        with pytest.raises(ValueError):
+            refresh_probe(no_refresh)
+
+    def test_suite_is_deterministic(self):
+        first = run_microbenchmarks(ddr4, requests=256)
+        second = run_microbenchmarks(ddr4, requests=256)
+        assert [c.to_dict() for c in first] == [c.to_dict() for c in second]
+
+    def test_include_filters_by_name(self):
+        curves = run_microbenchmarks(ddr4, requests=128, include=["blp_curve"])
+        assert [c.name for c in curves] == ["blp_curve"]
+
+
+# ----------------------------------------------------------------------
+# Reference comparison
+# ----------------------------------------------------------------------
+class TestComparator:
+    def test_identical_curves_pass(self):
+        curve = blp_curve(ddr4, requests=64)
+        comparison = compare_curve(curve, ReferenceCurve.from_curve(curve))
+        assert comparison.ok
+        assert comparison.max_rel_err == 0.0
+
+    def test_point_outside_band_fails(self):
+        curve = Curve("c", "x", "y", xs=[1.0, 2.0], ys=[100.0, 200.0])
+        reference = ReferenceCurve(
+            name="c", xs=[1.0, 2.0], ys=[100.0, 170.0], tol_rel=0.05, tol_abs=1.0
+        )
+        comparison = compare_curve(curve, reference)
+        assert not comparison.ok
+        assert [p.ok for p in comparison.points] == [True, False]
+
+    def test_band_uses_max_of_abs_and_rel(self):
+        reference = ReferenceCurve(
+            name="c", xs=[1.0], ys=[10.0], tol_rel=0.1, tol_abs=2.0
+        )
+        assert reference.band(10.0) == 2.0  # abs floor wins at small values
+        assert reference.band(100.0) == 10.0
+
+    def test_mismatched_grid_is_an_error(self):
+        curve = Curve("c", "x", "y", xs=[1.0, 2.0], ys=[1.0, 2.0])
+        reference = ReferenceCurve(name="c", xs=[1.0, 3.0], ys=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            compare_curve(curve, reference)
+
+
+# ----------------------------------------------------------------------
+# Pinned profiles
+# ----------------------------------------------------------------------
+class TestProfiles:
+    def test_builtin_profiles_ship(self):
+        names = available_profiles()
+        assert "ddr4-2400" in names
+        assert "ddr5-4800" in names
+
+    def test_ddr4_profile_matches_model_defaults(self):
+        profile = load_profile("ddr4-2400")
+        assert profile.timings == DramTimings()
+        model = profile.build_model()
+        assert model.num_banks == 16
+        assert model.num_channels == 1
+
+    def test_pinned_calibration_passes(self):
+        profile = load_profile("ddr4-2400")
+        report = run_calibration(profile)
+        assert report.ok, [c.to_dict() for c in report.comparisons if not c.ok]
+        assert {c.name for c in report.comparisons} == {
+            "row_hit_ladder",
+            "turnaround_sweep",
+            "blp_curve",
+            "refresh_probe",
+        }
+
+    def test_perturbed_timings_fail_calibration(self):
+        profile = load_profile("ddr4-2400")
+        slow = replace(profile, timings=replace(profile.timings, cas=60))
+        report = run_calibration(slow, references=load_reference("ddr4-2400"))
+        assert not report.ok
+
+    def test_pin_round_trips(self, tmp_path):
+        profile = CalibrationProfile(
+            name="tiny", timings=DramTimings(), description="round trip"
+        )
+        path = pin_profile(profile, directory=tmp_path, requests=128)
+        assert path == tmp_path / "tiny.json"
+        loaded = load_profile("tiny", directory=tmp_path)
+        assert loaded.timings == profile.timings
+        assert loaded.description == "round trip"
+        references = load_reference("tiny", directory=tmp_path)
+        assert {r.name for r in references} == {
+            "row_hit_ladder",
+            "turnaround_sweep",
+            "blp_curve",
+            "refresh_probe",
+        }
+        report = run_calibration(loaded, references=references, requests=128)
+        assert report.ok
+
+    def test_unknown_profile_lists_available(self):
+        with pytest.raises(FileNotFoundError, match="ddr4-2400"):
+            load_profile("ddr9-nope")
+
+    def test_format_version_checked(self, tmp_path):
+        (tmp_path / "bad.json").write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError, match="format 99"):
+            load_profile("bad", directory=tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Fitter
+# ----------------------------------------------------------------------
+def _quick_refs(timings):
+    factory = lambda: DramModel(timings=timings)
+    curves = run_microbenchmarks(
+        factory, requests=192, include=["row_hit_ladder", "turnaround_sweep"]
+    )
+    return [ReferenceCurve.from_curve(c) for c in curves]
+
+
+class TestFitter:
+    def test_curve_error_zero_for_identical(self):
+        curve = row_hit_ladder(ddr4, requests=128)
+        assert curve_error(curve, ReferenceCurve.from_curve(curve)) == 0.0
+
+    def test_fit_recovers_perturbed_knobs(self):
+        true = DramTimings()
+        refs = _quick_refs(true)
+        perturbed = replace(true, cas=51, turnaround=16)
+        result = fit_timings(
+            refs, initial=perturbed, seed=0, requests=192, max_rounds=4
+        )
+        assert result.error < result.initial_error
+        assert result.error < 0.05
+        # The ladder only observes tRP+tRCD+tCL summed, so check the sum.
+        fitted = result.timings
+        true_sum = true.rp + true.rcd + true.cas
+        assert abs((fitted.rp + fitted.rcd + fitted.cas) - true_sum) <= 3
+
+    def test_fit_already_optimal_is_a_noop(self):
+        true = DramTimings()
+        refs = _quick_refs(true)
+        result = fit_timings(
+            refs, initial=true, seed=0, requests=192, max_rounds=2
+        )
+        assert result.error == 0.0
+        assert result.adjusted == {}
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_fit_is_deterministic_for_fixed_seed(self, seed):
+        refs = _quick_refs(DramTimings())
+        perturbed = replace(DramTimings(), cas=45)
+        first = fit_timings(
+            refs, initial=perturbed, seed=seed, requests=192,
+            knobs=("cas", "turnaround"), max_rounds=2,
+        )
+        second = fit_timings(
+            refs, initial=perturbed, seed=seed, requests=192,
+            knobs=("cas", "turnaround"), max_rounds=2,
+        )
+        assert first.to_dict() == second.to_dict()
+        assert first.timings == second.timings
+
+
+# ----------------------------------------------------------------------
+# Config wiring
+# ----------------------------------------------------------------------
+class TestConfigWiring:
+    def test_engine_builds_dram_from_profile(self):
+        from repro.secure.engine import EngineConfig, SecureMemoryEngine
+        from repro.secure.layout import SecureLayout
+
+        layout = SecureLayout(data_blocks=1 << 14)
+        config = EngineConfig(dram_profile="ddr5-4800")
+        engine = SecureMemoryEngine(layout, config=config)
+        assert engine.dram.num_banks == 32
+        assert engine.dram.timings.burst == 10
+
+    def test_explicit_dram_wins_over_profile(self):
+        from repro.mem.dram import DramModel
+        from repro.secure.engine import EngineConfig, SecureMemoryEngine
+        from repro.secure.layout import SecureLayout
+
+        layout = SecureLayout(data_blocks=1 << 14)
+        explicit = DramModel()
+        engine = SecureMemoryEngine(
+            layout, config=EngineConfig(dram_profile="ddr5-4800"), dram=explicit
+        )
+        assert engine.dram is explicit
+
+    def test_with_ctr_cache_bytes_preserves_engine_knobs(self):
+        from repro.sim.config import SimulationConfig
+
+        config = SimulationConfig()
+        config.engine.dram_profile = "ddr4-2400"
+        config.engine.mac_in_ecc = True
+        config.engine.ctr_policy_name = "rrip"
+        resized = config.with_ctr_cache_bytes(64 * 1024)
+        assert resized.engine.ctr_cache_bytes == 64 * 1024
+        assert resized.engine.dram_profile == "ddr4-2400"
+        assert resized.engine.mac_in_ecc is True
+        assert resized.engine.ctr_policy_name == "rrip"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_verify_dram_calib_passes_and_writes_artifact(self, tmp_path, capsys):
+        from repro.__main__ import build_parser
+
+        out = tmp_path / "calib" / "report.json"
+        parser = build_parser()
+        args = parser.parse_args(
+            ["verify", "dram-calib", "--profile", "ddr4-2400", "--out", str(out)]
+        )
+        assert args.func(args) == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["profiles"]["ddr4-2400"]["ok"] is True
+        capsys.readouterr()
+
+    def test_verify_dram_calib_fails_on_budget_mismatch(self, capsys):
+        # A different request budget shifts the backlog-dominated sweeps
+        # outside their bands — the check must notice, not shrug.
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["verify", "dram-calib", "--profile", "ddr4-2400",
+             "--requests", "512"]
+        )
+        assert args.func(args) == 1
+        capsys.readouterr()
